@@ -1,0 +1,291 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 7). Each benchmark regenerates its experiment on
+// the simulated cluster and reports the headline quantities as custom
+// metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Shapes — who wins, by what factor —
+// are the comparison target; EXPERIMENTS.md records paper-vs-measured
+// for every row.
+package ibis_test
+
+import (
+	"testing"
+
+	"ibis/internal/experiments"
+)
+
+// benchScale keeps the full suite fast while preserving task counts and
+// wave structure (see experiments.DefaultScale).
+const benchScale = experiments.DefaultScale
+
+func BenchmarkFig02_IOProfiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig02(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peakTS, _ := maxOf(res.TeraSortWrite)
+		peakWC, _ := maxOf(res.WordCountWrite)
+		b.ReportMetric(peakTS, "terasort-peak-write-MB/s")
+		b.ReportMetric(peakWC, "wordcount-peak-write-MB/s")
+	}
+}
+
+func maxOf(v []float64) (float64, int) {
+	best, idx := 0.0, -1
+	for i, x := range v {
+		if x > best {
+			best, idx = x, i
+		}
+	}
+	return best, idx
+}
+
+func BenchmarkFig03_NativeInterferenceHDD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig03(benchScale, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Slowdown*100, row.CoRunner+"-slowdown-%")
+		}
+	}
+}
+
+func BenchmarkFig03_NativeInterferenceSSD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig03(benchScale, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Slowdown*100, row.CoRunner+"-slowdown-%")
+		}
+	}
+}
+
+func BenchmarkFig06_IsolationHDD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig06(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Slowdown*100, row.Config+"-slowdown-%")
+			b.ReportMetric(row.ThroughputLoss*100, row.Config+"-tput-loss-%")
+		}
+	}
+}
+
+func BenchmarkFig07_DepthAdaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig07(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := res.DepthRange()
+		b.ReportMetric(float64(lo), "depth-min")
+		b.ReportMetric(float64(hi), "depth-max")
+		b.ReportMetric(float64(len(res.Trace)), "control-periods")
+	}
+}
+
+func BenchmarkFig08_IsolationSSD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig08(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Slowdown*100, row.Config+"-slowdown-%")
+		}
+	}
+}
+
+func BenchmarkFig09_Facebook(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig09(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Cases {
+			b.ReportMetric(c.Runtimes.Percentile(90), c.Name+"-p90-s")
+			b.ReportMetric(c.Runtimes.Mean(), c.Name+"-mean-s")
+		}
+	}
+}
+
+func BenchmarkFig10_MultiFramework(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range res.Queries {
+			for _, row := range q.Rows {
+				b.ReportMetric(row.QueryRel, q.Query+"-"+row.Policy+"-query-rel")
+			}
+		}
+	}
+}
+
+func BenchmarkFig11_ProportionalSlowdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FSBest.Gap()*100, "fs-only-gap-%")
+		b.ReportMetric(res.FSIBISBest.Gap()*100, "fs+ibis-gap-%")
+		b.ReportMetric(res.FSBest.Avg()*100, "fs-only-avg-slowdown-%")
+		b.ReportMetric(res.FSIBISBest.Avg()*100, "fs+ibis-avg-slowdown-%")
+	}
+}
+
+func BenchmarkFig12_Coordination(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.NoSync.Avg()*100, "no-sync-avg-slowdown-%")
+		b.ReportMetric(res.Sync.Avg()*100, "sync-avg-slowdown-%")
+		b.ReportMetric(res.MicroNoSyncRatio, "micro-no-sync-ratio")
+		b.ReportMetric(res.MicroSyncRatio, "micro-sync-ratio")
+	}
+}
+
+func BenchmarkFig13_Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Overhead*100, row.App+"-overhead-%")
+		}
+	}
+}
+
+func BenchmarkTable2_ResourceUsage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var msgs uint64
+		for _, row := range res.Rows {
+			msgs += row.BrokerExchanges
+		}
+		b.ReportMetric(float64(msgs), "broker-exchanges")
+	}
+}
+
+func BenchmarkTable3_LinesOfCode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalCode), "code-lines")
+		b.ReportMetric(float64(res.TotalTests), "test-lines")
+	}
+}
+
+// --- Ablations & extensions beyond the paper's figures ---
+
+func BenchmarkAblationWriteAhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationWriteAhead(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].WCSlowdown*100, "deepest-window-slowdown-%")
+	}
+}
+
+func BenchmarkAblationLref(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationLref(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].WCSlowdown*100, "tight-lref-slowdown-%")
+		b.ReportMetric(res.Rows[0].Throughput, "tight-lref-tput-MB/s")
+	}
+}
+
+func BenchmarkAblationGain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGain(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationCoordPeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationCoordPeriod()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].ServiceRatio, "fast-period-ratio")
+		b.ReportMetric(res.Rows[len(res.Rows)-1].ServiceRatio, "slow-period-ratio")
+	}
+}
+
+func BenchmarkExtSpectrum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ExtSpectrum(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.WCSlowdown*100, row.Policy+"-slowdown-%")
+		}
+	}
+}
+
+func BenchmarkExtNetworkSched(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ExtNetworkSched(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.StorageOnly*100, "storage-only-slowdown-%")
+		b.ReportMetric(res.WithNetSched*100, "with-nic-sched-slowdown-%")
+	}
+}
+
+func BenchmarkExtTeraSortSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ExtTeraSortSweep(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].MBPerSec, "400GB-rate-MB/s")
+	}
+}
+
+func BenchmarkExtSSDPromotion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtSSDPromotion(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ExtScalability()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.ServiceRatio, "ratio-at-64-nodes")
+		b.ReportMetric(last.BytesPerSec, "broker-bytes/s-at-64-nodes")
+	}
+}

@@ -1,0 +1,107 @@
+// Command ibis-bench regenerates the IBIS paper's tables and figures on
+// the simulated cluster and prints paper-vs-measured rows.
+//
+// Usage:
+//
+//	ibis-bench [-scale 0.125] [-run fig06] [-list]
+//
+// Without -run, every experiment executes in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"ibis/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", experiments.DefaultScale, "data scale factor (1 = paper volumes)")
+	run := flag.String("run", "", "run a single experiment (e.g. fig06); empty = all")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	type exp struct {
+		name string
+		fn   func(float64) (fmt.Stringer, error)
+	}
+	expts := []exp{
+		{"fig02", wrap(func(s float64) (fmt.Stringer, error) { return experiments.Fig02(s) })},
+		{"fig03a", wrap(func(s float64) (fmt.Stringer, error) { return experiments.Fig03(s, false) })},
+		{"fig03b", wrap(func(s float64) (fmt.Stringer, error) { return experiments.Fig03(s, true) })},
+		{"fig06", wrap(func(s float64) (fmt.Stringer, error) { return experiments.Fig06(s) })},
+		{"fig07", wrap(func(s float64) (fmt.Stringer, error) { return experiments.Fig07(s) })},
+		{"fig08", wrap(func(s float64) (fmt.Stringer, error) { return experiments.Fig08(s) })},
+	}
+	if more := extraExperiments(); more != nil {
+		for _, e := range more {
+			expts = append(expts, exp{e.name, e.fn})
+		}
+	}
+
+	if *list {
+		names := make([]string, 0, len(expts))
+		for _, e := range expts {
+			names = append(names, e.name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	ran := 0
+	for _, e := range expts {
+		if *run != "" && e.name != *run {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := e.fn(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (wall %.1fs) ===\n%s\n", e.name, time.Since(start).Seconds(), res)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
+		os.Exit(1)
+	}
+}
+
+func wrap(fn func(float64) (fmt.Stringer, error)) func(float64) (fmt.Stringer, error) {
+	return fn
+}
+
+type namedExp struct {
+	name string
+	fn   func(float64) (fmt.Stringer, error)
+}
+
+// extraExperiments is extended as more drivers land.
+func extraExperiments() []namedExp { return extras }
+
+var extras = []namedExp{
+	{"fig09", func(s float64) (fmt.Stringer, error) { return experiments.Fig09(s) }},
+	{"fig10", func(s float64) (fmt.Stringer, error) { return experiments.Fig10(s) }},
+	{"fig11", func(s float64) (fmt.Stringer, error) { return experiments.Fig11(s) }},
+	{"fig12", func(s float64) (fmt.Stringer, error) { return experiments.Fig12(s) }},
+	{"fig13", func(s float64) (fmt.Stringer, error) { return experiments.Fig13(s) }},
+	{"table2", func(s float64) (fmt.Stringer, error) { return experiments.Table2(s) }},
+	{"table3", func(float64) (fmt.Stringer, error) { return experiments.Table3(".") }},
+	// Ablations and extensions beyond the paper's figures.
+	{"abl-writeahead", func(s float64) (fmt.Stringer, error) { return experiments.AblationWriteAhead(s) }},
+	{"abl-lref", func(s float64) (fmt.Stringer, error) { return experiments.AblationLref(s) }},
+	{"abl-gain", func(s float64) (fmt.Stringer, error) { return experiments.AblationGain(s) }},
+	{"abl-coordperiod", func(float64) (fmt.Stringer, error) { return experiments.AblationCoordPeriod() }},
+	{"ext-spectrum", func(s float64) (fmt.Stringer, error) { return experiments.ExtSpectrum(s) }},
+	{"ext-netsched", func(s float64) (fmt.Stringer, error) { return experiments.ExtNetworkSched(s) }},
+	{"ext-terasort-sweep", func(s float64) (fmt.Stringer, error) { return experiments.ExtTeraSortSweep(s) }},
+	{"ext-ssd-promotion", func(float64) (fmt.Stringer, error) { return experiments.ExtSSDPromotion() }},
+	{"ext-scalability", func(float64) (fmt.Stringer, error) { return experiments.ExtScalability() }},
+}

@@ -1,0 +1,29 @@
+// Command ibis-loc reports the development cost of this IBIS
+// reimplementation by component, the analogue of the paper's Table 3
+// (which lists 6552 lines across interposition, SFQ(D), SFQ(D2), and
+// scheduling coordination).
+//
+// Run from the repository root:
+//
+//	go run ./cmd/ibis-loc [root]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ibis/internal/experiments"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	res, err := experiments.Table3(root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+}

@@ -1,0 +1,119 @@
+// Command ibis-sim runs one contention scenario on the simulated
+// cluster, configured entirely from flags, and prints per-job runtimes
+// and cluster I/O totals. It is the interactive counterpart to the
+// ibis-bench experiment suite.
+//
+// Examples:
+//
+//	ibis-sim -policy sfqd2 -a wordcount:6e9:32 -b teragen:60e9:1
+//	ibis-sim -policy sfqd -depth 2 -a terasort:25e9:4 -b teragen:125e9:1 -coordinate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"ibis"
+)
+
+func main() {
+	policyFlag := flag.String("policy", "native", "native | sfqd | sfqd2 | cgweight | cgthrottle")
+	depth := flag.Int("depth", 4, "static depth for sfqd/cgweight")
+	coordinate := flag.Bool("coordinate", false, "enable the scheduling broker (Sync)")
+	ssd := flag.Bool("ssd", false, "use the SSD device model")
+	seed := flag.Int64("seed", 0, "placement / sampling seed")
+	aSpec := flag.String("a", "wordcount:6e9:32", "first app: name:bytes:weight")
+	bSpec := flag.String("b", "teragen:60e9:1", "second app: name:bytes:weight (empty = standalone)")
+	cores := flag.Int("cores", 48, "CPU quota per app (0 = unlimited)")
+	flag.Parse()
+
+	policies := map[string]ibis.Policy{
+		"native":     ibis.Native,
+		"sfqd":       ibis.SFQD,
+		"sfqd2":      ibis.SFQD2,
+		"cgweight":   ibis.CGWeight,
+		"cgthrottle": ibis.CGThrottle,
+	}
+	policy, ok := policies[strings.ToLower(*policyFlag)]
+	if !ok {
+		log.Fatalf("unknown policy %q", *policyFlag)
+	}
+
+	sim, err := ibis.New(ibis.Config{
+		Policy:     policy,
+		SFQDepth:   *depth,
+		Coordinate: *coordinate,
+		SSD:        *ssd,
+		Seed:       *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var jobs []*ibis.Job
+	for i, s := range []string{*aSpec, *bSpec} {
+		if s == "" {
+			continue
+		}
+		spec, err := parseApp(s, *cores)
+		if err != nil {
+			log.Fatalf("app %d: %v", i+1, err)
+		}
+		if *cores > 0 {
+			spec.Pool = fmt.Sprintf("pool-%d", i)
+			sim.DefinePool(spec.Pool, *cores, 192*float64(*cores)/96)
+		}
+		j, err := sim.Submit(spec, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+
+	end := sim.Run()
+	fmt.Printf("policy=%s coordinate=%v ssd=%v makespan=%.1fs\n", *policyFlag, *coordinate, *ssd, end)
+	for _, j := range jobs {
+		r := j.Result()
+		fmt.Printf("  %-14s runtime %8.1fs (map %6.1fs, reduce %6.1fs)\n",
+			j.Spec.Name, r.Runtime(), r.MapPhase(), r.ReducePhase())
+	}
+	st := sim.Storage()
+	fmt.Printf("  storage: read %.1f GB, wrote %.1f GB, %d write-back flushes\n",
+		st.ReadBytes/1e9, st.WriteBytes/1e9, st.Flushes)
+}
+
+// parseApp turns "name:bytes:weight" into a JobSpec.
+func parseApp(s string, cores int) (ibis.JobSpec, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return ibis.JobSpec{}, fmt.Errorf("want name:bytes:weight, got %q", s)
+	}
+	bytes, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || bytes <= 0 {
+		return ibis.JobSpec{}, fmt.Errorf("bad byte volume %q", parts[1])
+	}
+	weight, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || weight <= 0 {
+		return ibis.JobSpec{}, fmt.Errorf("bad weight %q", parts[2])
+	}
+	var spec ibis.JobSpec
+	switch parts[0] {
+	case "wordcount":
+		spec = ibis.WordCount(bytes, 6)
+	case "teragen":
+		spec = ibis.TeraGen(bytes, 96)
+		spec.OutputReplication = 1
+	case "terasort":
+		spec = ibis.TeraSort(bytes, 24)
+	case "teravalidate":
+		spec = ibis.TeraValidate(bytes)
+	default:
+		return ibis.JobSpec{}, fmt.Errorf("unknown app %q (wordcount|teragen|terasort|teravalidate)", parts[0])
+	}
+	spec.Weight = weight
+	spec.CPUQuota = cores
+	return spec, nil
+}

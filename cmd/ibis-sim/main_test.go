@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestParseApp(t *testing.T) {
+	cases := []struct {
+		in    string
+		ok    bool
+		name  string
+		bytes float64
+		w     float64
+	}{
+		{"wordcount:6e9:32", true, "wordcount", 6e9, 32},
+		{"teragen:1e12:1", true, "teragen", 1e12, 1},
+		{"terasort:5e10:4", true, "terasort", 5e10, 4},
+		{"teravalidate:1e11:2", true, "teravalidate", 1e11, 2},
+		{"nosuch:1e9:1", false, "", 0, 0},
+		{"wordcount:1e9", false, "", 0, 0},
+		{"wordcount:zero:1", false, "", 0, 0},
+		{"wordcount:-5:1", false, "", 0, 0},
+		{"wordcount:1e9:0", false, "", 0, 0},
+		{"", false, "", 0, 0},
+	}
+	for _, c := range cases {
+		spec, err := parseApp(c.in, 48)
+		if c.ok != (err == nil) {
+			t.Errorf("parseApp(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if spec.Name != c.name || spec.Weight != c.w {
+			t.Errorf("parseApp(%q) = %q w=%v", c.in, spec.Name, spec.Weight)
+		}
+		if spec.CPUQuota != 48 {
+			t.Errorf("parseApp(%q) quota = %d", c.in, spec.CPUQuota)
+		}
+		total := spec.InputBytes + spec.DirectOutputBytes
+		if total != c.bytes {
+			t.Errorf("parseApp(%q) volume = %v, want %v", c.in, total, c.bytes)
+		}
+	}
+}
+
+func TestParseAppTeraGenReplication(t *testing.T) {
+	spec, err := parseApp("teragen:1e9:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.OutputReplication != 1 {
+		t.Fatalf("teragen replication = %d, want 1", spec.OutputReplication)
+	}
+	if spec.CPUQuota != 0 {
+		t.Fatalf("quota = %d, want uncapped", spec.CPUQuota)
+	}
+}

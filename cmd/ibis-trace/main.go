@@ -1,0 +1,121 @@
+// Command ibis-trace regenerates the paper's time-series figures as
+// plot-ready CSV files:
+//
+//	fig2  — the I/O throughput profiles of TeraSort and WordCount
+//	fig7  — the SFQ(D2) depth/latency adaptation trace
+//	fig9  — the Facebook2009 job-runtime CDFs
+//
+// Usage:
+//
+//	ibis-trace [-scale 0.125] [-out .] [fig2|fig7|fig9 ...]
+//
+// With no figure arguments, all three are produced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ibis/internal/experiments"
+	"ibis/internal/export"
+	"ibis/internal/metrics"
+)
+
+func main() {
+	scale := flag.Float64("scale", experiments.DefaultScale, "data scale factor")
+	out := flag.String("out", ".", "output directory for CSV files")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[a] = true
+	}
+	all := len(want) == 0
+
+	if all || want["fig2"] {
+		if err := writeFig2(*scale, *out); err != nil {
+			log.Fatalf("fig2: %v", err)
+		}
+	}
+	if all || want["fig7"] {
+		if err := writeFig7(*scale, *out); err != nil {
+			log.Fatalf("fig7: %v", err)
+		}
+	}
+	if all || want["fig9"] {
+		if err := writeFig9(*scale, *out); err != nil {
+			log.Fatalf("fig9: %v", err)
+		}
+	}
+}
+
+func writeFig2(scale float64, dir string) error {
+	res, err := experiments.Fig02(scale)
+	if err != nil {
+		return err
+	}
+	series := map[string][]float64{
+		"fig2_terasort_read.csv":   res.TeraSortRead,
+		"fig2_terasort_write.csv":  res.TeraSortWrite,
+		"fig2_wordcount_read.csv":  res.WordCountRead,
+		"fig2_wordcount_write.csv": res.WordCountWrite,
+	}
+	for name, data := range series {
+		ts := metrics.NewTimeSeries(1)
+		for i, mbps := range data {
+			ts.Add(float64(i), mbps) // already MB/s per 1 s bin
+		}
+		if err := writeCSV(filepath.Join(dir, name), func(f *os.File) error {
+			return export.TimeSeriesCSV(f, "throughput_MBps", ts)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFig7(scale float64, dir string) error {
+	res, err := experiments.Fig07(scale)
+	if err != nil {
+		return err
+	}
+	return writeCSV(filepath.Join(dir, "fig7_depth_trace.csv"), func(f *os.File) error {
+		return export.DepthTraceCSV(f, res.Trace)
+	})
+}
+
+func writeFig9(scale float64, dir string) error {
+	res, err := experiments.Fig09(scale)
+	if err != nil {
+		return err
+	}
+	for _, c := range res.Cases {
+		name := fmt.Sprintf("fig9_cdf_%s.csv", c.Name)
+		c := c
+		if err := writeCSV(filepath.Join(dir, name), func(f *os.File) error {
+			return export.CDFCSV(f, "runtime_s", c.Runtimes)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSV(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fill(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}

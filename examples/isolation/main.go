@@ -1,0 +1,76 @@
+// Isolation: the Figure 6 experiment as a standalone program — sweep
+// the SFQ(D) dispatch depth and compare against the adaptive SFQ(D2),
+// reporting WordCount's slowdown (fairness) and the pair's total
+// throughput (utilization). Small static depths isolate but waste the
+// device; large depths utilize but leak interference; SFQ(D2) finds
+// the operating point automatically.
+//
+// Run with:
+//
+//	go run ./examples/isolation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ibis"
+)
+
+const (
+	wcBytes = 6e9
+	tgBytes = 125e9
+)
+
+func run(policy ibis.Policy, depth int, withTG bool) (wcRuntime, totalBytes, duration float64) {
+	sim, err := ibis.New(ibis.Config{Policy: policy, SFQDepth: depth, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wc := ibis.WordCount(wcBytes, 6)
+	wc.Weight = 32
+	wc.CPUQuota = 48
+	wc.Pool = "wc"
+	sim.DefinePool("wc", 48, 96)
+	jwc, err := sim.Submit(wc, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if withTG {
+		tg := ibis.TeraGen(tgBytes, 96)
+		tg.CPUQuota = 48
+		tg.Pool = "tg"
+		tg.OutputReplication = 1
+		sim.DefinePool("tg", 48, 96)
+		if _, err := sim.Submit(tg, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	end := sim.Run()
+	st := sim.Storage()
+	return jwc.Result().Runtime(), st.ReadBytes + st.WriteBytes, end
+}
+
+func main() {
+	alone, _, _ := run(ibis.Native, 0, false)
+	fmt.Printf("WordCount alone: %.1fs\n\n", alone)
+	fmt.Printf("%-12s %10s %10s %14s\n", "scheduler", "wc(s)", "slowdown", "tput(MB/s)")
+
+	type cfg struct {
+		name   string
+		policy ibis.Policy
+		depth  int
+	}
+	for _, c := range []cfg{
+		{"native", ibis.Native, 0},
+		{"sfq(d=12)", ibis.SFQD, 12},
+		{"sfq(d=8)", ibis.SFQD, 8},
+		{"sfq(d=4)", ibis.SFQD, 4},
+		{"sfq(d=2)", ibis.SFQD, 2},
+		{"sfq(d2)", ibis.SFQD2, 0},
+	} {
+		rt, bytes, dur := run(c.policy, c.depth, true)
+		fmt.Printf("%-12s %10.1f %9.0f%% %14.1f\n",
+			c.name, rt, (rt/alone-1)*100, bytes/dur/1e6)
+	}
+}

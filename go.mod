@@ -1,0 +1,3 @@
+module ibis
+
+go 1.22

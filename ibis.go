@@ -1,0 +1,270 @@
+// Package ibis is a faithful reimplementation of IBIS — the Interposed
+// Big-data I/O Scheduler (Xu & Zhao, HPDC 2016) — on a deterministic
+// discrete-event simulation of a Hadoop/YARN cluster.
+//
+// IBIS provides I/O performance differentiation for applications that
+// share a big-data system. Its pieces, all implemented here:
+//
+//   - an I/O interposition layer on every datanode that tags and
+//     schedules persistent (HDFS), intermediate (local FS), and shuffle
+//     I/O per application;
+//   - SFQ(D2), a proportional-share start-time-fair-queueing scheduler
+//     whose dispatch depth D is adapted online by an integral feedback
+//     controller steering observed latency toward a profiled reference;
+//   - a centralized Scheduling Broker that lets the distributed
+//     schedulers enforce proportional sharing of the *total* cluster
+//     I/O service (the DSFQ delay rule);
+//   - the substrates the paper evaluates on: an HDFS-like DFS, a
+//     MapReduce/YARN execution engine with a fair slot scheduler, a
+//     Hive-style query compiler, calibrated HDD/SSD device models, and
+//     the cgroups baselines IBIS is compared against.
+//
+// # Quick start
+//
+//	sim, _ := ibis.New(ibis.Config{Policy: ibis.SFQD2})
+//	wc := ibis.WordCount(6e9, 6)
+//	wc.Weight = 32
+//	tg := ibis.TeraGen(125e9, 96)
+//	tg.Weight = 1
+//	sim.Submit(wc, 0)
+//	sim.Submit(tg, 0)
+//	sim.Run()
+//
+// Runs are fully deterministic: a fixed Config.Seed reproduces the
+// exact same virtual-time execution.
+package ibis
+
+import (
+	"fmt"
+
+	"ibis/internal/cluster"
+	"ibis/internal/dfs"
+	"ibis/internal/hive"
+	"ibis/internal/iosched"
+	"ibis/internal/mapreduce"
+	"ibis/internal/sim"
+	"ibis/internal/storage"
+	"ibis/internal/workloads"
+)
+
+// Policy selects the per-datanode I/O scheduling configuration.
+type Policy = cluster.Policy
+
+// Scheduling policies.
+const (
+	// Native is stock Hadoop/YARN: no I/O management.
+	Native = cluster.Native
+	// SFQD is classic SFQ(D) with a static dispatch depth.
+	SFQD = cluster.SFQD
+	// SFQD2 is the paper's adaptive-depth scheduler.
+	SFQD2 = cluster.SFQD2
+	// CGWeight is the cgroups proportional-weight baseline.
+	CGWeight = cluster.CGWeight
+	// CGThrottle is the cgroups bandwidth-cap baseline.
+	CGThrottle = cluster.CGThrottle
+	// Reserve is the non-work-conserving strict-partitioning extreme
+	// (paper §9).
+	Reserve = cluster.Reserve
+)
+
+// AppID identifies an application cluster-wide.
+type AppID = iosched.AppID
+
+// JobSpec describes a MapReduce application (see mapreduce.JobSpec).
+type JobSpec = mapreduce.JobSpec
+
+// Job is a submitted application.
+type Job = mapreduce.Job
+
+// JobResult summarizes a finished job.
+type JobResult = mapreduce.Result
+
+// Query is a Hive query plan.
+type Query = hive.Query
+
+// QueryExecution tracks a running Hive query.
+type QueryExecution = hive.Execution
+
+// QueryOptions configure SubmitQuery.
+type QueryOptions = hive.RunOptions
+
+// Workload constructors, re-exported for convenience.
+var (
+	// TeraGen builds a map-only generator writing totalBytes.
+	TeraGen = workloads.TeraGenSpec
+	// TeraSort builds a full sort over inputBytes.
+	TeraSort = workloads.TeraSortSpec
+	// WordCount builds a compute-heavy scan with small output.
+	WordCount = workloads.WordCountSpec
+	// TeraValidate builds a read-mostly scan.
+	TeraValidate = workloads.TeraValidateSpec
+	// Q9 and Q21 are the paper's TPC-H query plans.
+	Q9  = hive.Q9
+	Q21 = hive.Q21
+)
+
+// Config describes the simulated cluster and scheduling policy. The
+// zero value reproduces the paper's testbed: 8 datanodes with 12 cores,
+// 24 GB of task memory and two HDDs each, gigabit Ethernet, 128 MB DFS
+// blocks with 3× replication, and the Native (no I/O management)
+// policy.
+type Config struct {
+	// Nodes, CoresPerNode, MemGBPerNode shape the cluster.
+	Nodes        int
+	CoresPerNode int
+	MemGBPerNode float64
+	// SSD switches both per-node devices to the flash model.
+	SSD bool
+	// Policy picks the I/O scheduler; SFQDepth applies to SFQD and
+	// CGWeight.
+	Policy   Policy
+	SFQDepth int
+	// Coordinate enables the Scheduling Broker (total-service
+	// proportional sharing).
+	Coordinate bool
+	// ThrottleLimits caps apps (bytes/second) under CGThrottle.
+	ThrottleLimits map[AppID]float64
+	// ReservationRates / ReservationDefault configure the Reserve
+	// policy (per-device cost units per second).
+	ReservationRates   map[AppID]float64
+	ReservationDefault float64
+	// ScheduleNetwork adds weighted fair scheduling on the NICs (the
+	// paper's OpenFlow-style extension).
+	ScheduleNetwork bool
+	// CoordinationPeriod is the broker exchange period in seconds
+	// (0 = the paper's 1 s).
+	CoordinationPeriod float64
+	// BlockSize and Replication configure the DFS (0 = Table 1
+	// defaults: 128 MB, 3).
+	BlockSize   float64
+	Replication int
+	// Seed drives all randomness (placement, workload sampling).
+	Seed int64
+}
+
+// Simulation is an assembled cluster plus execution engine.
+type Simulation struct {
+	eng *sim.Engine
+	cl  *cluster.Cluster
+	nn  *dfs.Namenode
+	rt  *mapreduce.Runtime
+}
+
+// New assembles a simulation.
+func New(cfg Config) (*Simulation, error) {
+	eng := sim.NewEngine()
+	disk := storage.HDDSpec()
+	if cfg.SSD {
+		disk = storage.SSDSpec()
+	}
+	cl, err := cluster.New(eng, cluster.Config{
+		Nodes:              cfg.Nodes,
+		CoresPerNode:       cfg.CoresPerNode,
+		MemGBPerNode:       cfg.MemGBPerNode,
+		HDFSDisk:           disk,
+		LocalDisk:          disk,
+		Policy:             cfg.Policy,
+		SFQDepth:           cfg.SFQDepth,
+		ThrottleLimits:     cfg.ThrottleLimits,
+		ReservationRates:   cfg.ReservationRates,
+		ReservationDefault: cfg.ReservationDefault,
+		ScheduleNetwork:    cfg.ScheduleNetwork,
+		Coordinate:         cfg.Coordinate,
+		CoordinationPeriod: cfg.CoordinationPeriod,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ibis: %w", err)
+	}
+	nn := dfs.NewNamenode(dfs.Config{
+		Nodes:       len(cl.Nodes),
+		BlockSize:   cfg.BlockSize,
+		Replication: cfg.Replication,
+		Seed:        cfg.Seed,
+	})
+	rt := mapreduce.NewRuntime(eng, cl, nn, mapreduce.Config{})
+	return &Simulation{eng: eng, cl: cl, nn: nn, rt: rt}, nil
+}
+
+// Submit schedules a job after delay seconds of virtual time.
+func (s *Simulation) Submit(spec JobSpec, delay float64) (*Job, error) {
+	return s.rt.Submit(spec, delay)
+}
+
+// SubmitQuery schedules a Hive query (its stages chain automatically).
+func (s *Simulation) SubmitQuery(q Query, opts QueryOptions) (*QueryExecution, error) {
+	return hive.Run(s.rt, q, opts)
+}
+
+// DefinePool declares a Fair Scheduler pool with aggregate core and
+// memory caps; jobs join it via JobSpec.Pool.
+func (s *Simulation) DefinePool(name string, maxCores int, maxMemGB float64) {
+	s.rt.DefinePool(name, maxCores, maxMemGB)
+}
+
+// OnJobDone registers a completion callback (fires for failed jobs
+// too; check Job.Failed).
+func (s *Simulation) OnJobDone(fn func(*Job)) { s.rt.OnJobDone(fn) }
+
+// FailNode injects a datanode failure at the current virtual time:
+// running tasks are killed and requeued, completed map outputs on the
+// node re-execute, and the DFS falls back to surviving replicas. A job
+// that loses every replica of an input block fails gracefully.
+func (s *Simulation) FailNode(idx int) { s.rt.FailNode(idx) }
+
+// Schedule runs fn after delay seconds of virtual time — the hook for
+// scripting failure injection and other mid-run interventions.
+func (s *Simulation) Schedule(delay float64, fn func()) { s.eng.Schedule(delay, fn) }
+
+// Run executes until all submitted work completes and returns the
+// final virtual time in seconds.
+func (s *Simulation) Run() float64 { return s.eng.Run() }
+
+// RunUntil executes events up to the virtual-time limit.
+func (s *Simulation) RunUntil(limit float64) float64 { return s.eng.RunUntil(limit) }
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() float64 { return s.eng.Now() }
+
+// Jobs lists all submitted jobs in submission order.
+func (s *Simulation) Jobs() []*Job { return s.rt.Jobs() }
+
+// TotalCores returns the cluster's CPU slot count.
+func (s *Simulation) TotalCores() int { return s.cl.TotalCores() }
+
+// BrokerTotal returns the cluster-wide cumulative I/O service (cost
+// units) the Scheduling Broker has recorded for an app; zero without
+// coordination.
+func (s *Simulation) BrokerTotal(app AppID) float64 {
+	if s.cl.Broker == nil {
+		return 0
+	}
+	return s.cl.Broker.Total(app)
+}
+
+// DeviceStats aggregates cluster-wide storage counters.
+type DeviceStats struct {
+	ReadBytes  float64
+	WriteBytes float64
+	Flushes    uint64
+}
+
+// Storage returns aggregate device counters across all datanodes.
+func (s *Simulation) Storage() DeviceStats {
+	var out DeviceStats
+	for _, n := range s.cl.Nodes {
+		for _, d := range []*storage.Device{n.HDFS, n.Local} {
+			st := d.Stats()
+			out.ReadBytes += st.ReadBytes
+			out.WriteBytes += st.WriteBytes
+			out.Flushes += st.Flushes
+		}
+	}
+	return out
+}
+
+// IOObserver receives every completed I/O request; see
+// cluster.IOObserver.
+type IOObserver = cluster.IOObserver
+
+// SetIOObserver installs a completion observer on every scheduler.
+func (s *Simulation) SetIOObserver(obs IOObserver) { s.cl.SetIOObserver(obs) }

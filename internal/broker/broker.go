@@ -1,0 +1,164 @@
+// Package broker implements IBIS's distributed I/O scheduling
+// coordination (Section 5 of the paper): a centralized Scheduling Broker
+// that aggregates each local scheduler's per-application service vector
+// and returns the cluster-wide totals, plus the per-scheduler client
+// that feeds those totals into the DSFQ delay rule of the local SFQ(D2)
+// scheduler.
+//
+// In the Hadoop prototype the broker lives inside the YARN Resource
+// Manager and its messages are piggybacked on the existing Node Manager
+// heartbeats; here the exchange is modeled as a periodic call whose
+// message sizes are accounted so the coordination overhead claims remain
+// measurable.
+package broker
+
+import (
+	"sort"
+
+	"ibis/internal/iosched"
+	"ibis/internal/sim"
+)
+
+// Stats tracks coordination traffic for overhead accounting.
+type Stats struct {
+	// Exchanges counts report/response round trips.
+	Exchanges uint64
+	// EntriesUp is the total number of (app, service) pairs sent by
+	// schedulers to the broker.
+	EntriesUp uint64
+	// EntriesDown is the total number of pairs returned.
+	EntriesDown uint64
+}
+
+// BytesApprox estimates the wire volume of the coordination traffic,
+// assuming 8-byte service values plus 16-byte application identifiers.
+func (s Stats) BytesApprox() uint64 {
+	return (s.EntriesUp + s.EntriesDown) * 24
+}
+
+// Broker is the centralized aggregation point. It keeps, per reporting
+// scheduler, the last cumulative service vector, and maintains the
+// per-application totals incrementally — the state is "simply a vector
+// of total I/O service amount for all the applications in the system".
+type Broker struct {
+	reports map[string]map[iosched.AppID]float64
+	totals  map[iosched.AppID]float64
+	stats   Stats
+}
+
+// New creates an empty broker.
+func New() *Broker {
+	return &Broker{
+		reports: make(map[string]map[iosched.AppID]float64),
+		totals:  make(map[iosched.AppID]float64),
+	}
+}
+
+// Exchange is one coordination round trip for the named scheduler: it
+// reports its cumulative per-app service (cost units) and receives the
+// cluster-wide totals for exactly the apps it reported — the response
+// "is bounded by the number of applications that the scheduler
+// currently serves".
+func (b *Broker) Exchange(scheduler string, vector map[iosched.AppID]float64) map[iosched.AppID]float64 {
+	prev := b.reports[scheduler]
+	if prev == nil {
+		prev = make(map[iosched.AppID]float64)
+		b.reports[scheduler] = prev
+	}
+	for app, cum := range vector {
+		b.totals[app] += cum - prev[app]
+		prev[app] = cum
+	}
+	resp := make(map[iosched.AppID]float64, len(vector))
+	for app := range vector {
+		resp[app] = b.totals[app]
+	}
+	b.stats.Exchanges++
+	b.stats.EntriesUp += uint64(len(vector))
+	b.stats.EntriesDown += uint64(len(resp))
+	return resp
+}
+
+// Total returns the cluster-wide cumulative service for one app.
+func (b *Broker) Total(app iosched.AppID) float64 { return b.totals[app] }
+
+// Apps returns all known apps, sorted.
+func (b *Broker) Apps() []iosched.AppID {
+	ids := make([]iosched.AppID, 0, len(b.totals))
+	for id := range b.totals {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Stats returns the accumulated traffic counters.
+func (b *Broker) Stats() Stats { return b.stats }
+
+// Reporter exposes the cumulative per-app service of a local scheduler;
+// *iosched.Accounting satisfies it.
+type Reporter interface {
+	CostVector() map[iosched.AppID]float64
+}
+
+// Client performs the periodic exchange for one local scheduler and
+// implements iosched.Coordinator: OtherService(app) returns the service
+// the app has received on all *other* nodes, per the broker's latest
+// response. A Client with a nil broker never coordinates (No Sync).
+type Client struct {
+	id       string
+	broker   *Broker
+	reporter Reporter
+	other    map[iosched.AppID]float64
+	rounds   uint64
+}
+
+var _ iosched.Coordinator = (*Client)(nil)
+
+// NewClient wires a scheduler's accounting into the broker with the
+// given coordination period (seconds; the paper uses 1 s, piggybacked on
+// heartbeats). The periodic exchange is a daemon event: it does not keep
+// the simulation alive once the workload drains.
+func NewClient(eng *sim.Engine, b *Broker, id string, reporter Reporter, period float64) *Client {
+	if period <= 0 {
+		period = 1
+	}
+	c := &Client{
+		id:       id,
+		broker:   b,
+		reporter: reporter,
+		other:    make(map[iosched.AppID]float64),
+	}
+	var tick func()
+	tick = func() {
+		c.ExchangeNow()
+		eng.ScheduleDaemon(period, tick)
+	}
+	eng.ScheduleDaemon(period, tick)
+	return c
+}
+
+// ExchangeNow performs one immediate report/response round trip.
+func (c *Client) ExchangeNow() {
+	if c.broker == nil {
+		return
+	}
+	vec := c.reporter.CostVector()
+	totals := c.broker.Exchange(c.id, vec)
+	for app, total := range totals {
+		other := total - vec[app]
+		if other < 0 {
+			other = 0
+		}
+		c.other[app] = other
+	}
+	c.rounds++
+}
+
+// OtherService implements iosched.Coordinator.
+func (c *Client) OtherService(app iosched.AppID) float64 {
+	return c.other[app]
+}
+
+// Rounds returns the number of exchanges performed.
+func (c *Client) Rounds() uint64 { return c.rounds }

@@ -1,0 +1,234 @@
+package cgroups
+
+import (
+	"math"
+	"testing"
+
+	"ibis/internal/iosched"
+	"ibis/internal/sim"
+	"ibis/internal/storage"
+)
+
+func flatSpec() storage.Spec {
+	return storage.Spec{
+		Name: "flat", ReadBW: 100e6, WriteBW: 100e6,
+		Curve: []float64{1}, CurveDecay: 1, MinCurve: 1,
+	}
+}
+
+func TestWeightIsProportional(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := storage.NewDevice(eng, "d", flatSpec())
+	s := NewWeight(eng, dev, 2)
+	var a, b float64
+	keep := func(app iosched.AppID, w float64, served *float64) {
+		var issue func()
+		issue = func() {
+			s.Submit(&iosched.Request{
+				App: app, Weight: w, Class: iosched.IntermediateRead, Size: 1e6,
+				OnDone: func(float64) {
+					*served += 1e6
+					if eng.Now() < 30 {
+						issue()
+					}
+				},
+			})
+		}
+		for i := 0; i < 4; i++ {
+			issue()
+		}
+	}
+	keep("A", 4, &a)
+	keep("B", 1, &b)
+	eng.RunUntil(30)
+	if got := a / b; math.Abs(got-4)/4 > 0.2 {
+		t.Fatalf("weight-mode service ratio %.3f, want ≈4", got)
+	}
+}
+
+func TestThrottleCapsRate(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := storage.NewDevice(eng, "d", flatSpec())
+	s := NewThrottle(eng, dev, map[iosched.AppID]float64{"capped": 5e6})
+	var served float64
+	var issue func()
+	issue = func() {
+		s.Submit(&iosched.Request{
+			App: "capped", Weight: 1, Class: iosched.IntermediateRead, Size: 1e6,
+			OnDone: func(float64) {
+				served += 1e6
+				if eng.Now() < 20 {
+					issue()
+				}
+			},
+		})
+	}
+	for i := 0; i < 4; i++ {
+		issue()
+	}
+	eng.RunUntil(25)
+	rate := served / 25
+	if rate > 5e6*1.25 {
+		t.Fatalf("capped app achieved %.1f MB/s, cap was 5 MB/s", rate/1e6)
+	}
+	if rate < 5e6*0.5 {
+		t.Fatalf("capped app achieved only %.1f MB/s, cap was 5 MB/s", rate/1e6)
+	}
+}
+
+func TestThrottleNonWorkConserving(t *testing.T) {
+	// Device idle, yet the capped app still waits: that's the
+	// underutilization the paper attributes to cgroups throttling.
+	eng := sim.NewEngine()
+	dev := storage.NewDevice(eng, "d", flatSpec())
+	s := NewThrottle(eng, dev, map[iosched.AppID]float64{"capped": 1e6})
+	var done float64
+	s.Submit(&iosched.Request{
+		App: "capped", Weight: 1, Class: iosched.IntermediateRead, Size: 10e6,
+		OnDone: func(float64) { done = eng.Now() },
+	})
+	eng.Run()
+	// 10 MB at 1 MB/s needs ≈9s of token accumulation (1s burst) even
+	// though the device could do it in 0.1s.
+	if done < 5 {
+		t.Fatalf("capped request finished at %.2fs on an idle device; throttle not enforced", done)
+	}
+	if dev.BusyTime() > 1 {
+		t.Fatalf("device busy %v s, want mostly idle (non-work-conserving)", dev.BusyTime())
+	}
+}
+
+func TestThrottleUncappedPassthrough(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := storage.NewDevice(eng, "d", flatSpec())
+	s := NewThrottle(eng, dev, map[iosched.AppID]float64{"capped": 1e6})
+	var freeDone float64
+	s.Submit(&iosched.Request{
+		App: "free", Weight: 1, Class: iosched.IntermediateRead, Size: 10e6,
+		OnDone: func(float64) { freeDone = eng.Now() },
+	})
+	eng.Run()
+	if freeDone > 0.2 {
+		t.Fatalf("uncapped request took %.2fs, want immediate dispatch", freeDone)
+	}
+}
+
+func TestThrottleFIFOWithinApp(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := storage.NewDevice(eng, "d", flatSpec())
+	s := NewThrottle(eng, dev, map[iosched.AppID]float64{"c": 2e6})
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Submit(&iosched.Request{
+			App: "c", Weight: 1, Class: iosched.IntermediateRead, Size: 1e6,
+			OnDone: func(float64) { order = append(order, i) },
+		})
+	}
+	eng.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("completion order %v, want FIFO", order)
+		}
+	}
+	if s.Queued() != 0 || s.InFlight() != 0 {
+		t.Fatalf("leftovers: queued=%d inflight=%d", s.Queued(), s.InFlight())
+	}
+}
+
+func TestThrottleAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := storage.NewDevice(eng, "d", flatSpec())
+	s := NewThrottle(eng, dev, nil)
+	s.Submit(&iosched.Request{App: "A", Weight: 1, Class: iosched.IntermediateRead, Size: 3e6})
+	eng.Run()
+	svc := s.Accounting().Service("A")
+	if svc.Bytes != 3e6 || svc.Requests != 1 {
+		t.Fatalf("accounting = %+v", svc)
+	}
+	if svc.Cost <= 0 {
+		t.Fatalf("cost = %v, want positive", svc.Cost)
+	}
+	if s.Name() != "cgroups-throttle" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestThrottleInvalidRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate accepted")
+		}
+	}()
+	eng := sim.NewEngine()
+	NewThrottle(eng, storage.NewDevice(eng, "d", flatSpec()), map[iosched.AppID]float64{"x": 0})
+}
+
+func TestThrottleObserver(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := storage.NewDevice(eng, "d", flatSpec())
+	s := NewThrottle(eng, dev, nil)
+	count := 0
+	s.SetObserver(func(*iosched.Request, float64) { count++ })
+	for i := 0; i < 3; i++ {
+		s.Submit(&iosched.Request{App: "A", Weight: 1, Class: iosched.IntermediateRead, Size: 1e5})
+	}
+	eng.Run()
+	if count != 3 {
+		t.Fatalf("observer saw %d completions, want 3", count)
+	}
+}
+
+func TestThrottleWritesBypassCap(t *testing.T) {
+	// blkio v1 semantics: buffered writes are not attributed to the
+	// cgroup and escape the throttle entirely.
+	eng := sim.NewEngine()
+	dev := storage.NewDevice(eng, "d", flatSpec())
+	s := NewThrottle(eng, dev, map[iosched.AppID]float64{"capped": 1e6})
+	done := -1.0
+	s.Submit(&iosched.Request{
+		App: "capped", Weight: 1, Class: iosched.IntermediateWrite, Size: 10e6,
+		OnDone: func(float64) { done = eng.Now() },
+	})
+	eng.Run()
+	if done > 0.5 {
+		t.Fatalf("buffered write finished at %.2fs; writes must bypass the v1 throttle", done)
+	}
+}
+
+func TestWeightWritesBypass(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := storage.NewDevice(eng, "d", flatSpec())
+	w := NewWeight(eng, dev, 2)
+	// Submit many writes: they all dispatch immediately (no queueing).
+	for i := 0; i < 10; i++ {
+		w.Submit(&iosched.Request{App: "A", Weight: 1, Class: iosched.IntermediateWrite, Size: 1e6})
+	}
+	if w.InFlight() != 10 {
+		t.Fatalf("InFlight = %d, want 10 unmanaged writes", w.InFlight())
+	}
+	if w.Queued() != 0 {
+		t.Fatalf("Queued = %d, want 0", w.Queued())
+	}
+	eng.Run()
+	if got := w.Accounting().Service("A").Bytes; got != 10e6 {
+		t.Fatalf("accounted bytes = %v", got)
+	}
+	if w.Name() != "cgroups-weight" {
+		t.Fatalf("Name = %q", w.Name())
+	}
+}
+
+func TestWeightObserverBothPaths(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := storage.NewDevice(eng, "d", flatSpec())
+	w := NewWeight(eng, dev, 2)
+	count := 0
+	w.SetObserver(func(*iosched.Request, float64) { count++ })
+	w.Submit(&iosched.Request{App: "A", Weight: 1, Class: iosched.IntermediateRead, Size: 1e6})
+	w.Submit(&iosched.Request{App: "A", Weight: 1, Class: iosched.IntermediateWrite, Size: 1e6})
+	eng.Run()
+	if count != 2 {
+		t.Fatalf("observer saw %d events, want 2", count)
+	}
+}

@@ -1,0 +1,426 @@
+// Package cluster assembles the simulated big-data cluster: datanodes
+// with two storage devices each (one for HDFS data, one for
+// intermediate data, as in the paper's testbed), gigabit NICs, CPU
+// slots and memory, plus the per-device interposed I/O schedulers wired
+// according to the chosen policy and, optionally, the Scheduling Broker
+// for distributed coordination.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"ibis/internal/broker"
+	"ibis/internal/cgroups"
+	"ibis/internal/iosched"
+	"ibis/internal/sim"
+	"ibis/internal/storage"
+)
+
+// Policy selects the I/O scheduling configuration of every datanode.
+type Policy int
+
+const (
+	// Native is stock Hadoop/YARN: no I/O management at all.
+	Native Policy = iota
+	// SFQD interposes a classic SFQ(D) scheduler with a static depth on
+	// both devices.
+	SFQD
+	// SFQD2 interposes the paper's SFQ(D2) adaptive-depth scheduler on
+	// both devices.
+	SFQD2
+	// CGWeight models YARN extended with cgroups proportional weights:
+	// intermediate I/O is weight-scheduled, HDFS I/O is uncontrolled.
+	CGWeight
+	// CGThrottle models cgroups bandwidth caps on intermediate I/O;
+	// HDFS I/O is uncontrolled.
+	CGThrottle
+	// Reserve is the non-work-conserving strict-partitioning extreme
+	// discussed in the paper's Section 9: every app is paced at its
+	// reserved bandwidth on every device, isolation is absolute, and
+	// unused reservations are wasted.
+	Reserve
+)
+
+// String names the policy as the paper's figures label it.
+func (p Policy) String() string {
+	switch p {
+	case Native:
+		return "Native"
+	case SFQD:
+		return "SFQ(D)"
+	case SFQD2:
+		return "SFQ(D2)"
+	case CGWeight:
+		return "CG(weight)"
+	case CGThrottle:
+		return "CG(throttle)"
+	case Reserve:
+		return "Reservation"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config describes the cluster. The zero value is completed by
+// defaults() to the paper's testbed shape: 8 worker datanodes, 12 cores
+// and 24 GB of task memory each, two HDDs, gigabit Ethernet.
+type Config struct {
+	// Nodes is the number of datanodes (the paper uses 8 workers).
+	Nodes int
+	// CoresPerNode is the CPU slot count per node (2 × 6 cores).
+	CoresPerNode int
+	// MemGBPerNode is task memory per node (192 GB total / 8).
+	MemGBPerNode float64
+	// HDFSDisk and LocalDisk are the device models for persistent and
+	// intermediate storage respectively.
+	HDFSDisk  storage.Spec
+	LocalDisk storage.Spec
+	// NICBandwidth is the per-direction NIC rate in bytes/second
+	// (gigabit Ethernet ≈ 117 MB/s effective).
+	NICBandwidth float64
+
+	// Policy picks the scheduler wiring.
+	Policy Policy
+	// SFQDepth is the static depth for SFQD and CGWeight.
+	SFQDepth int
+	// Controller parameterizes SFQD2. If its reference latencies are
+	// zero they are filled by profiling the device specs.
+	Controller iosched.ControllerConfig
+	// ThrottleLimits maps capped apps to bytes/second for CGThrottle.
+	ThrottleLimits map[iosched.AppID]float64
+	// ReservationRates maps each app to its per-device reserved service
+	// rate (cost units/second) for the Reserve policy;
+	// ReservationDefault applies to unlisted apps.
+	ReservationRates   map[iosched.AppID]float64
+	ReservationDefault float64
+	// ScheduleNetwork interposes a weighted fair (SFQ) scheduler on
+	// every egress NIC as well — the paper's OpenFlow-style extension.
+	// NetworkDepth is its dispatch depth; unlike disks, links gain
+	// nothing from a small bound (it only breaks transfer pipelining),
+	// so the default is a deep 128 — weighted fairness without
+	// admission control.
+	ScheduleNetwork bool
+	NetworkDepth    int
+
+	// Coordinate enables the Scheduling Broker (the paper's "Sync").
+	Coordinate bool
+	// CoordinationPeriod is the broker exchange period in seconds
+	// (default 1, piggybacked on heartbeats in the prototype).
+	CoordinationPeriod float64
+}
+
+func (c *Config) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 8
+	}
+	if c.CoresPerNode <= 0 {
+		c.CoresPerNode = 12
+	}
+	if c.MemGBPerNode <= 0 {
+		c.MemGBPerNode = 24
+	}
+	if c.HDFSDisk.Name == "" {
+		c.HDFSDisk = storage.HDDSpec()
+	}
+	if c.LocalDisk.Name == "" {
+		c.LocalDisk = storage.HDDSpec()
+	}
+	if c.NICBandwidth <= 0 {
+		c.NICBandwidth = 117e6
+	}
+	if c.SFQDepth <= 0 {
+		c.SFQDepth = 4
+	}
+	if c.CoordinationPeriod <= 0 {
+		c.CoordinationPeriod = 1
+	}
+	if c.NetworkDepth <= 0 {
+		c.NetworkDepth = 128
+	}
+}
+
+// IOObserver receives every completed I/O in the cluster, with the node
+// index and the scheduler-observed total latency. Used by experiment
+// probes and throughput meters.
+type IOObserver func(node int, req *iosched.Request, latency float64)
+
+// Node is one datanode.
+type Node struct {
+	Index int
+
+	// HDFS and Local are the two storage devices.
+	HDFS  *storage.Device
+	Local *storage.Device
+	// HDFSSched and LocalSched are the interposed schedulers in front
+	// of them.
+	HDFSSched  iosched.Scheduler
+	LocalSched iosched.Scheduler
+
+	nicOut *sim.PSResource
+	nicIn  *sim.PSResource
+	// NetSched, when non-nil, schedules the egress NIC (the
+	// OpenFlow-style extension); tagged sends pass through it.
+	NetSched iosched.Scheduler
+
+	// Cores and MemGB are the task resource capacities; UsedCores and
+	// UsedMemGB are maintained by the slot scheduler.
+	Cores     int
+	MemGB     float64
+	UsedCores int
+	UsedMemGB float64
+
+	// Dead marks a failed node: it accepts no new tasks and its local
+	// data (map outputs, block replicas) is considered lost. In-flight
+	// device operations drain (the failure model is node-level, not a
+	// mid-request disk crash).
+	Dead bool
+}
+
+// FreeCores returns unallocated CPU slots.
+func (n *Node) FreeCores() int { return n.Cores - n.UsedCores }
+
+// FreeMemGB returns unallocated task memory.
+func (n *Node) FreeMemGB() float64 { return n.MemGB - n.UsedMemGB }
+
+// Cluster is the assembled system.
+type Cluster struct {
+	Eng    *sim.Engine
+	Nodes  []*Node
+	Broker *broker.Broker
+	cfg    Config
+}
+
+// observable is satisfied by every scheduler implementation.
+type observable interface {
+	SetObserver(iosched.Observer)
+}
+
+// New assembles a cluster on the given engine. For SFQD2, zero
+// reference latencies in cfg.Controller are filled by offline profiling
+// of the device specs (one profile per distinct spec, as the paper's
+// one-time calibration).
+func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
+	cfg.defaults()
+	var hdfsCtrl, localCtrl iosched.ControllerConfig
+	if cfg.Policy == SFQD2 {
+		var err error
+		hdfsCtrl, err = fillController(cfg.Controller, cfg.HDFSDisk)
+		if err != nil {
+			return nil, err
+		}
+		localCtrl, err = fillController(cfg.Controller, cfg.LocalDisk)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	c := &Cluster{Eng: eng, cfg: cfg}
+	if cfg.Coordinate {
+		c.Broker = broker.New()
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{
+			Index: i,
+			Cores: cfg.CoresPerNode,
+			MemGB: cfg.MemGBPerNode,
+		}
+		n.HDFS = storage.NewDevice(eng, fmt.Sprintf("node%d-hdfs", i), cfg.HDFSDisk)
+		n.Local = storage.NewDevice(eng, fmt.Sprintf("node%d-local", i), cfg.LocalDisk)
+		n.nicOut = sim.NewPSResource(eng, fmt.Sprintf("node%d-nic-out", i), sim.ConstantCapacity(cfg.NICBandwidth))
+		n.nicIn = sim.NewPSResource(eng, fmt.Sprintf("node%d-nic-in", i), sim.ConstantCapacity(cfg.NICBandwidth))
+
+		n.HDFSSched = c.buildScheduler(n.HDFS, true, hdfsCtrl)
+		n.LocalSched = c.buildScheduler(n.Local, false, localCtrl)
+		if cfg.ScheduleNetwork {
+			n.NetSched = iosched.NewSFQD(eng, &linkBackend{eng: eng, res: n.nicOut}, cfg.NetworkDepth)
+		}
+
+		if c.Broker != nil {
+			c.attach(n.HDFSSched, fmt.Sprintf("node%d-hdfs", i))
+			c.attach(n.LocalSched, fmt.Sprintf("node%d-local", i))
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// buildScheduler wires one device according to the policy. persistent
+// marks the HDFS device: cgroups policies leave it uncontrolled.
+func (c *Cluster) buildScheduler(dev *storage.Device, persistent bool, ctrl iosched.ControllerConfig) iosched.Scheduler {
+	switch c.cfg.Policy {
+	case Native:
+		return iosched.NewFIFO(c.Eng, dev)
+	case SFQD:
+		return iosched.NewSFQD(c.Eng, dev, c.cfg.SFQDepth)
+	case SFQD2:
+		return iosched.NewSFQD2(c.Eng, dev, ctrl)
+	case CGWeight:
+		if persistent {
+			return iosched.NewFIFO(c.Eng, dev)
+		}
+		return cgroups.NewWeight(c.Eng, dev, c.cfg.SFQDepth)
+	case CGThrottle:
+		if persistent {
+			return iosched.NewFIFO(c.Eng, dev)
+		}
+		return cgroups.NewThrottle(c.Eng, dev, c.cfg.ThrottleLimits)
+	case Reserve:
+		return iosched.NewReservation(c.Eng, dev, c.cfg.ReservationRates, c.cfg.ReservationDefault)
+	default:
+		panic(fmt.Sprintf("cluster: unknown policy %d", int(c.cfg.Policy)))
+	}
+}
+
+// linkBackend adapts an egress NIC to the scheduler Backend interface:
+// the cost of a transfer is its size (links are symmetric).
+type linkBackend struct {
+	eng *sim.Engine
+	res *sim.PSResource
+}
+
+// Cost implements iosched.Backend.
+func (l *linkBackend) Cost(_ storage.OpKind, size float64) float64 { return size }
+
+// Submit implements iosched.Backend.
+func (l *linkBackend) Submit(_ storage.OpKind, size float64, onDone func(float64)) {
+	t0 := l.eng.Now()
+	l.res.Submit(size, func() {
+		if onDone != nil {
+			onDone(l.eng.Now() - t0)
+		}
+	})
+}
+
+// attach connects an SFQ scheduler to the broker; non-SFQ schedulers
+// cannot coordinate and are skipped.
+func (c *Cluster) attach(s iosched.Scheduler, id string) {
+	sfq, ok := s.(*iosched.SFQ)
+	if !ok {
+		return
+	}
+	client := broker.NewClient(c.Eng, c.Broker, id, sfq.Accounting(), c.cfg.CoordinationPeriod)
+	sfq.SetCoordinator(client)
+}
+
+// profileCache memoizes per-spec calibration: the paper's profiling
+// "needs to be done only once for a given storage setup".
+var profileCache sync.Map // string -> storage.Profile
+
+// ProfileFor returns the (cached) offline calibration for a device spec.
+func ProfileFor(spec storage.Spec) (storage.Profile, error) {
+	key := fmt.Sprintf("%+v", spec)
+	if p, ok := profileCache.Load(key); ok {
+		return p.(storage.Profile), nil
+	}
+	prof, err := storage.ProfileDevice(spec, storage.ProfileOptions{})
+	if err != nil {
+		return storage.Profile{}, err
+	}
+	profileCache.Store(key, prof)
+	return prof, nil
+}
+
+// fillController completes a controller config with profiled reference
+// latencies for the given device spec if they are unset.
+func fillController(base iosched.ControllerConfig, spec storage.Spec) (iosched.ControllerConfig, error) {
+	if base.ReadLref > 0 {
+		return base, nil
+	}
+	prof, err := ProfileFor(spec)
+	if err != nil {
+		return base, fmt.Errorf("cluster: profiling %s: %w", spec.Name, err)
+	}
+	base.ReadLref = prof.ReadLref
+	base.WriteLref = prof.WriteLref
+	return base, nil
+}
+
+// Config returns the effective configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// SetIOObserver installs obs on every scheduler of every node.
+func (c *Cluster) SetIOObserver(obs IOObserver) {
+	for _, n := range c.Nodes {
+		n := n
+		for _, s := range []iosched.Scheduler{n.HDFSSched, n.LocalSched} {
+			if o, ok := s.(observable); ok {
+				o.SetObserver(func(req *iosched.Request, lat float64) {
+					obs(n.Index, req, lat)
+				})
+			}
+		}
+	}
+}
+
+// TotalCores returns the cluster-wide CPU slot count.
+func (c *Cluster) TotalCores() int {
+	t := 0
+	for _, n := range c.Nodes {
+		t += n.Cores
+	}
+	return t
+}
+
+// SubmitIO routes one tagged request on node n: persistent classes go
+// to the HDFS device's scheduler, intermediate classes to the local
+// device's scheduler — the routing the IBIS interposition layer
+// performs in DataNode and NodeManager.
+func (n *Node) SubmitIO(req *iosched.Request) {
+	if req.Class.Persistent() {
+		n.HDFSSched.Submit(req)
+	} else {
+		n.LocalSched.Submit(req)
+	}
+}
+
+// Send models a network transfer of size bytes from node n to dst: a
+// processor-shared pass through n's egress NIC then dst's ingress NIC.
+// done fires when the last byte arrives.
+func (n *Node) Send(dst *Node, size float64, done func()) {
+	if size <= 0 {
+		n.nicOut.Submit(0, func() {
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	n.nicOut.Submit(size, func() {
+		dst.nicIn.Submit(size, func() {
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// SendTagged is Send with application attribution: when the cluster
+// schedules network bandwidth, the egress hop passes through the NIC's
+// weighted fair scheduler; otherwise it behaves exactly like Send.
+func (n *Node) SendTagged(dst *Node, app iosched.AppID, weight float64, size float64, done func()) {
+	if n.NetSched == nil || size <= 0 {
+		n.Send(dst, size, done)
+		return
+	}
+	n.NetSched.Submit(&iosched.Request{
+		App:    app,
+		Weight: weight,
+		Class:  iosched.NetworkTransfer,
+		Size:   size,
+		OnDone: func(float64) {
+			dst.nicIn.Submit(size, func() {
+				if done != nil {
+					done()
+				}
+			})
+		},
+	})
+}
+
+// NICOutBusy returns seconds the egress NIC was busy (for overhead and
+// saturation analysis).
+func (n *Node) NICOutBusy() float64 { return n.nicOut.BusyTime() }
+
+// NICInBusy returns seconds the ingress NIC was busy.
+func (n *Node) NICInBusy() float64 { return n.nicIn.BusyTime() }

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"ibis/internal/iosched"
+	"ibis/internal/sim"
+	"ibis/internal/storage"
+)
+
+func newCluster(t *testing.T, cfg Config) (*sim.Engine, *Cluster) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, c
+}
+
+func TestDefaultsMatchPaperTestbed(t *testing.T) {
+	_, c := newCluster(t, Config{})
+	cfg := c.Config()
+	if cfg.Nodes != 8 || cfg.CoresPerNode != 12 || cfg.MemGBPerNode != 24 {
+		t.Fatalf("defaults = %d nodes × %d cores × %g GB", cfg.Nodes, cfg.CoresPerNode, cfg.MemGBPerNode)
+	}
+	if c.TotalCores() != 96 {
+		t.Fatalf("total cores = %d, want 96", c.TotalCores())
+	}
+	if len(c.Nodes) != 8 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+}
+
+func TestPolicyWiring(t *testing.T) {
+	cases := []struct {
+		policy    Policy
+		hdfsName  string
+		localName string
+	}{
+		{Native, "native", "native"},
+		{SFQD, "sfq(d=4)", "sfq(d=4)"},
+		{SFQD2, "sfq(d2)", "sfq(d2)"},
+		{CGWeight, "native", "cgroups-weight"},
+		{CGThrottle, "native", "cgroups-throttle"},
+	}
+	for _, cse := range cases {
+		t.Run(cse.policy.String(), func(t *testing.T) {
+			_, c := newCluster(t, Config{Nodes: 2, Policy: cse.policy})
+			n := c.Nodes[0]
+			if got := n.HDFSSched.Name(); got != cse.hdfsName {
+				t.Errorf("HDFS scheduler = %q, want %q", got, cse.hdfsName)
+			}
+			if got := n.LocalSched.Name(); got != cse.localName {
+				t.Errorf("local scheduler = %q, want %q", got, cse.localName)
+			}
+		})
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, p := range []Policy{Native, SFQD, SFQD2, CGWeight, CGThrottle} {
+		if p.String() == "" || strings.HasPrefix(p.String(), "Policy(") {
+			t.Errorf("policy %d renders as %q", int(p), p.String())
+		}
+	}
+	if Policy(99).String() != "Policy(99)" {
+		t.Error("unknown policy should render with its number")
+	}
+}
+
+func TestSubmitIORouting(t *testing.T) {
+	eng, c := newCluster(t, Config{Nodes: 1, Policy: Native})
+	n := c.Nodes[0]
+	n.SubmitIO(&iosched.Request{App: "A", Weight: 1, Class: iosched.PersistentRead, Size: 1e6})
+	n.SubmitIO(&iosched.Request{App: "A", Weight: 1, Class: iosched.IntermediateWrite, Size: 2e6})
+	eng.Run()
+	if got := n.HDFS.Stats().ReadBytes; got != 1e6 {
+		t.Fatalf("HDFS device read %v bytes, want 1e6", got)
+	}
+	if got := n.Local.Stats().WriteBytes; got != 2e6 {
+		t.Fatalf("local device wrote %v bytes, want 2e6", got)
+	}
+}
+
+func TestSendTransfersThroughNICs(t *testing.T) {
+	eng, c := newCluster(t, Config{Nodes: 2, NICBandwidth: 100e6})
+	done := -1.0
+	c.Nodes[0].Send(c.Nodes[1], 50e6, func() { done = eng.Now() })
+	eng.Run()
+	// 50 MB through 100 MB/s out then 100 MB/s in: 0.5s + 0.5s.
+	if done < 0.9 || done > 1.1 {
+		t.Fatalf("transfer completed at %v, want ≈1.0s", done)
+	}
+	if c.Nodes[0].NICOutBusy() == 0 || c.Nodes[1].NICInBusy() == 0 {
+		t.Fatal("NIC busy counters empty")
+	}
+}
+
+func TestSendZeroBytes(t *testing.T) {
+	eng, c := newCluster(t, Config{Nodes: 2})
+	fired := false
+	c.Nodes[0].Send(c.Nodes[1], 0, func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("zero-byte send never completed")
+	}
+}
+
+func TestNICContention(t *testing.T) {
+	eng, c := newCluster(t, Config{Nodes: 3, NICBandwidth: 100e6})
+	var t1, t2 float64
+	// Two concurrent sends share node 0's egress NIC.
+	c.Nodes[0].Send(c.Nodes[1], 50e6, func() { t1 = eng.Now() })
+	c.Nodes[0].Send(c.Nodes[2], 50e6, func() { t2 = eng.Now() })
+	eng.Run()
+	// Shared egress: each gets 50 MB/s for the first leg (1s), then
+	// dedicated ingress 0.5s ⇒ ≈1.5s.
+	if t1 < 1.2 || t2 < 1.2 {
+		t.Fatalf("concurrent sends finished at %v/%v; egress sharing missing", t1, t2)
+	}
+}
+
+func TestCoordinationCreatesBroker(t *testing.T) {
+	_, c := newCluster(t, Config{Nodes: 2, Policy: SFQD, Coordinate: true})
+	if c.Broker == nil {
+		t.Fatal("Coordinate=true but no broker")
+	}
+	_, c2 := newCluster(t, Config{Nodes: 2, Policy: SFQD})
+	if c2.Broker != nil {
+		t.Fatal("Coordinate=false but broker present")
+	}
+}
+
+func TestCoordinatedSchedulersReport(t *testing.T) {
+	eng, c := newCluster(t, Config{Nodes: 2, Policy: SFQD, Coordinate: true, CoordinationPeriod: 0.5})
+	c.Nodes[0].SubmitIO(&iosched.Request{App: "A", Weight: 1, Class: iosched.PersistentRead, Size: 10e6})
+	eng.Schedule(3, func() {}) // keep alive for a few exchanges
+	eng.Run()
+	if c.Broker.Total("A") <= 0 {
+		t.Fatal("broker never learned about app A's service")
+	}
+}
+
+func TestSFQD2ControllerFilledFromProfile(t *testing.T) {
+	_, c := newCluster(t, Config{Nodes: 1, Policy: SFQD2})
+	sfq, ok := c.Nodes[0].HDFSSched.(*iosched.SFQ)
+	if !ok {
+		t.Fatal("SFQD2 policy did not produce an SFQ scheduler")
+	}
+	if sfq.Controller() == nil {
+		t.Fatal("no controller attached")
+	}
+}
+
+func TestIOObserverSeesAllTraffic(t *testing.T) {
+	eng, c := newCluster(t, Config{Nodes: 2, Policy: SFQD})
+	var events int
+	var nodesSeen = map[int]bool{}
+	c.SetIOObserver(func(node int, req *iosched.Request, lat float64) {
+		events++
+		nodesSeen[node] = true
+		if lat < 0 {
+			t.Errorf("negative latency %v", lat)
+		}
+	})
+	c.Nodes[0].SubmitIO(&iosched.Request{App: "A", Weight: 1, Class: iosched.PersistentRead, Size: 1e6})
+	c.Nodes[1].SubmitIO(&iosched.Request{App: "A", Weight: 1, Class: iosched.IntermediateWrite, Size: 1e6})
+	eng.Run()
+	if events != 2 {
+		t.Fatalf("observer saw %d events, want 2", events)
+	}
+	if !nodesSeen[0] || !nodesSeen[1] {
+		t.Fatalf("nodes seen: %v", nodesSeen)
+	}
+}
+
+func TestNodeResourceBookkeeping(t *testing.T) {
+	_, c := newCluster(t, Config{Nodes: 1})
+	n := c.Nodes[0]
+	if n.FreeCores() != 12 || n.FreeMemGB() != 24 {
+		t.Fatalf("fresh node: %d cores, %g GB", n.FreeCores(), n.FreeMemGB())
+	}
+	n.UsedCores = 5
+	n.UsedMemGB = 10
+	if n.FreeCores() != 7 || n.FreeMemGB() != 14 {
+		t.Fatalf("after alloc: %d cores, %g GB", n.FreeCores(), n.FreeMemGB())
+	}
+}
+
+func TestProfileForCaches(t *testing.T) {
+	spec := storage.HDDSpec()
+	p1, err := ProfileFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ProfileFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.ReadLref != p2.ReadLref {
+		t.Fatal("cache returned different profile")
+	}
+}
+
+func TestSSDClusterBuilds(t *testing.T) {
+	_, c := newCluster(t, Config{
+		Nodes:     2,
+		Policy:    SFQD2,
+		HDFSDisk:  storage.SSDSpec(),
+		LocalDisk: storage.SSDSpec(),
+	})
+	if c.Nodes[0].HDFS.Spec().Name != "ssd" {
+		t.Fatal("SSD spec not applied")
+	}
+}

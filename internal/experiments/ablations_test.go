@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationWriteAheadMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	res, err := AblationWriteAhead(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Deeper client pipelines must not reduce native interference.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].WCSlowdown < res.Rows[i-1].WCSlowdown-0.02 {
+			t.Fatalf("interference not monotone in window: %+v", res.Rows)
+		}
+	}
+	if res.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestAblationLrefTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	res, err := AblationLref(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	// Small Lref: best isolation, worst utilization — and vice versa.
+	if first.WCSlowdown > last.WCSlowdown {
+		t.Fatalf("isolation did not improve with smaller Lref: %+v", res.Rows)
+	}
+	if first.Throughput > last.Throughput {
+		t.Fatalf("utilization did not improve with larger Lref: %+v", res.Rows)
+	}
+	// Mean depth must grow with Lref.
+	if first.Extra >= last.Extra {
+		t.Fatalf("mean depth did not grow with Lref: %v vs %v", first.Extra, last.Extra)
+	}
+}
+
+func TestAblationGainRobust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	res, err := AblationGain(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Across two decades of gain, isolation stays within a factor ~3.
+	lo, hi := math.Inf(1), 0.0
+	for _, row := range res.Rows {
+		if row.WCSlowdown < lo {
+			lo = row.WCSlowdown
+		}
+		if row.WCSlowdown > hi {
+			hi = row.WCSlowdown
+		}
+	}
+	if hi > 3*lo+0.3 {
+		t.Fatalf("controller outcome too gain-sensitive: [%v, %v]", lo, hi)
+	}
+}
+
+func TestAblationCoordPeriodTradeoff(t *testing.T) {
+	res, err := AblationCoordPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		// Longer periods: fewer exchanges, worse (higher) service ratio.
+		if res.Rows[i].Exchanges >= res.Rows[i-1].Exchanges {
+			t.Fatalf("exchanges not decreasing with period: %+v", res.Rows)
+		}
+		if res.Rows[i].ServiceRatio < res.Rows[i-1].ServiceRatio-0.05 {
+			t.Fatalf("fairness improved with a longer period?! %+v", res.Rows)
+		}
+	}
+	if res.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestExtSpectrumShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	res, err := ExtSpectrum(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]SpectrumRow{}
+	for _, r := range res.Rows {
+		rows[r.Policy] = r
+	}
+	// Native: best throughput, worst isolation. Reservation: strong
+	// isolation, worst throughput. SFQ(D2): work-conserving middle.
+	if rows["reservation"].Throughput >= rows["sfq(d2)"].Throughput {
+		t.Fatalf("reservation should waste bandwidth: %+v", rows)
+	}
+	if rows["native"].WCSlowdown <= rows["sfq(d2)"].WCSlowdown {
+		t.Fatalf("native should isolate worst: %+v", rows)
+	}
+	if rows["reservation"].WCSlowdown > rows["native"].WCSlowdown/2 {
+		t.Fatalf("reservation isolation too weak: %+v", rows)
+	}
+}
+
+func TestExtNetworkSched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	res, err := ExtNetworkSched(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NIC scheduling must not make the favored app worse.
+	if res.WithNetSched > res.StorageOnly+0.05 {
+		t.Fatalf("NIC scheduling hurt the favored app: %.2f vs %.2f",
+			res.WithNetSched, res.StorageOnly)
+	}
+}
+
+func TestExtTeraSortSweepScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	res, err := ExtTeraSortSweep(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Runtime grows with input; the rate stays within ±30% across the
+	// sweep (near-linear scaling).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Runtime <= res.Rows[i-1].Runtime {
+			t.Fatalf("runtime not increasing: %+v", res.Rows)
+		}
+	}
+	base := res.Rows[0].MBPerSec
+	for _, row := range res.Rows {
+		if math.Abs(row.MBPerSec-base)/base > 0.3 {
+			t.Fatalf("sort rate drifted: %+v", res.Rows)
+		}
+	}
+}
+
+func TestExtSSDPromotion(t *testing.T) {
+	res, err := ExtSSDPromotion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The read-latency minimum must sit at a small depth (the
+	// promotion effect), and reads get a larger share at low depth.
+	minIdx := 0
+	for i, row := range res.Rows {
+		if row.ReadLatencyMS < res.Rows[minIdx].ReadLatencyMS {
+			minIdx = i
+		}
+	}
+	if res.Rows[minIdx].Depth > 4 {
+		t.Fatalf("read latency minimized at depth %d, want small depth: %+v", res.Rows[minIdx].Depth, res.Rows)
+	}
+	if res.Rows[0].ReadMBps <= res.Rows[len(res.Rows)-1].ReadMBps {
+		t.Fatalf("reads did not gain share at low depth: %+v", res.Rows)
+	}
+}
+
+func TestExtScalability(t *testing.T) {
+	res, err := ExtScalability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		// Fairness holds at every size (optimum ≈3 for the 1/4-presence
+		// micro).
+		if row.ServiceRatio > 4 {
+			t.Fatalf("fairness degraded at %d nodes: %.2f", row.Nodes, row.ServiceRatio)
+		}
+	}
+	// Traffic linear in node count.
+	if res.Rows[len(res.Rows)-1].Exchanges != res.Rows[0].Exchanges*uint64(res.Rows[len(res.Rows)-1].Nodes)/uint64(res.Rows[0].Nodes) {
+		t.Fatalf("broker traffic not linear: %+v", res.Rows)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+
+	"ibis/internal/cluster"
+	"ibis/internal/dfs"
+	"ibis/internal/mapreduce"
+	"ibis/internal/sim"
+	"ibis/internal/storage"
+	"ibis/internal/workloads"
+)
+
+func TestDebugFacebookStandalone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	scale := 0.125
+	jobs := workloads.FacebookWorkload(workloads.FacebookConfig{
+		Seed: 2009, ScaleBytes: scale, Weight: 1, MeanInterarrival: 6,
+	})
+	eng := sim.NewEngine()
+	cl, err := cluster.New(eng, cluster.Config{
+		CoresPerNode: 6, MemGBPerNode: 12,
+		HDFSDisk: storage.HDDSpec(), LocalDisk: storage.HDDSpec(),
+		Policy: cluster.Native,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := dfs.NewNamenode(dfs.Config{Nodes: 8, BlockSize: dfs.DefaultBlockSize * scale, Seed: 0})
+	rt := mapreduce.NewRuntime(eng, cl, nn, mapreduce.Config{ChunkBytes: 2e6, ShuffleBufferBytes: 2e9 * scale})
+	var hs []*mapreduce.Job
+	for _, j := range jobs {
+		h, err := rt.Submit(j.Spec, j.Arrival)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, h)
+	}
+	end := eng.Run()
+	t.Logf("sim ended at %.1f, live=%d pending-events=%d", end, eng.Live(), eng.Pending())
+	for _, h := range hs {
+		if !h.Done() {
+			t.Errorf("job %s stuck: state=%v maps %d/%d reduces %d/%d usedCores=%d",
+				h.App, h.State(), h.MapsDone(), h.NumMaps(), h.ReducesDone(), h.NumReduces(), h.UsedCores())
+		}
+	}
+	for i, n := range cl.Nodes {
+		t.Logf("node %d: cores %d/%d mem %.0f/%.0f", i, n.UsedCores, n.Cores, n.UsedMemGB, n.MemGB)
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+
+	"ibis/internal/cluster"
+	"ibis/internal/hive"
+	"ibis/internal/mapreduce"
+)
+
+func TestDebugQ9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	scale := 0.125
+	stageTimes := func(opts Options, weight float64, withTS bool) []float64 {
+		var cl *cluster.Cluster
+		var exec *hive.Execution
+		entries := []Entry{}
+		if withTS {
+			ts := teraSortContender(scale, 1)
+			ts.Spec.App = tsApp
+			entries = append(entries, ts)
+		}
+		res, err := RunWithSetup(opts, entries, func(rt *mapreduce.Runtime) error {
+			cl = rt.Cluster()
+			var e2 error
+			exec, e2 = hive.Run(rt, hive.Q9(), hive.RunOptions{
+				Weight: weight, CPUQuota: halfCores, ScaleBytes: scale,
+			})
+			return e2
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nicBusy := 0.0
+		diskBusy := 0.0
+		for _, n := range cl.Nodes {
+			nicBusy += n.NICOutBusy()
+			diskBusy += n.HDFS.BusyTime() + n.Local.BusyTime()
+		}
+		t.Logf("  duration=%.1f nic-out-busy=%.1f%% disks-busy=%.1f%%",
+			res.Duration, nicBusy/8/res.Duration*100, diskBusy/16/res.Duration*100)
+		var out []float64
+		for si, j := range exec.StageJobs() {
+			out = append(out, j.Result().Runtime())
+			if si == 3 {
+				firstMapStart, lastMapEnd := 1e18, 0.0
+				var redStarts, redShufDone, redEnds []float64
+				for _, tt := range j.TaskTimings() {
+					if tt.Kind == "map" {
+						if tt.Start < firstMapStart {
+							firstMapStart = tt.Start
+						}
+						if tt.End > lastMapEnd {
+							lastMapEnd = tt.End
+						}
+					} else {
+						redStarts = append(redStarts, tt.Start)
+						redShufDone = append(redShufDone, tt.ShuffleDone)
+						redEnds = append(redEnds, tt.End)
+					}
+				}
+				t.Logf("  stage3: submit=%.1f maps [%.1f..%.1f]", j.SubmitTime, firstMapStart, lastMapEnd)
+				for i := range redStarts {
+					t.Logf("  stage3 reduce %d: start=%.1f shufDone=%.1f end=%.1f", i, redStarts[i], redShufDone[i], redEnds[i])
+				}
+			}
+		}
+		return out
+	}
+	alone := stageTimes(Options{Scale: scale, Policy: cluster.Native}, 1, false)
+	ibis := stageTimes(Options{Scale: scale, Policy: cluster.SFQD2}, 100, true)
+	for i := range alone {
+		t.Logf("stage %d: alone=%.1f ibis=%.1f (x%.2f)", i, alone[i], ibis[i], ibis[i]/alone[i])
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+
+	"ibis/internal/cluster"
+	"ibis/internal/metrics"
+)
+
+func TestDebugFig12Variants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	scale := 0.125
+	saTS, _ := standalone(Options{Scale: scale, Policy: cluster.Native}, fullCores(teraSortContender(scale, 1)))
+	saTG, _ := standalone(Options{Scale: scale, Policy: cluster.Native}, fullCores(teraGen(scale, 1)))
+
+	variant := func(name string, mkTS func() Entry, mkTG func() Entry) {
+		for _, sync := range []bool{false, true} {
+			res, err := Run(Options{Scale: scale, Policy: cluster.SFQD2, Coordinate: sync},
+				[]Entry{mkTS(), mkTG()})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			ts := res.JobResult("terasort")
+			tg := res.JobResult("teragen")
+			var tsBytes, tgBytes float64
+			for app, b := range res.PerAppBytes {
+				if app == "terasort-0" || app == "terasort-1" {
+					tsBytes = b
+				} else {
+					tgBytes = b
+				}
+			}
+			t.Logf("%s sync=%v: ts-slow=%.0f%% tg-slow=%.0f%% service-ratio=%.1f",
+				name, sync,
+				metrics.Slowdown(ts.Runtime(), saTS.Runtime())*100,
+				metrics.Slowdown(tg.Runtime(), saTG.Runtime())*100,
+				tsBytes/tgBytes)
+		}
+	}
+
+	variant("base", func() Entry { return withWeight(teraSortContender(scale, 32), 32) },
+		func() Entry { return teraGen(scale, 1) })
+
+	variant("tg-repl3", func() Entry { return withWeight(teraSortContender(scale, 32), 32) },
+		func() Entry {
+			e := teraGen(scale, 1)
+			e.Spec.OutputReplication = 0 // namenode default (3)
+			return e
+		})
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"testing"
+
+	"ibis/internal/cluster"
+	"ibis/internal/iosched"
+)
+
+// TestDebugIsolation is a diagnostic, not an assertion: run with
+//
+//	go test ./internal/experiments/ -run TestDebugIsolation -v
+func TestDebugIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	scale := 0.125
+	sa, err := Run(Options{Scale: scale, Policy: cluster.Native}, []Entry{wordCount(scale, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := sa.JobResult("wordcount")
+	t.Logf("WC alone: runtime=%.1f map=%.1f reduce=%.1f", wc.Runtime(), wc.MapPhase(), wc.ReducePhase())
+	for _, j := range sa.JobHandles {
+		if j.Spec.Name != "wordcount" {
+			continue
+		}
+		for _, tt := range j.TaskTimings() {
+			if tt.Kind == "reduce" {
+				t.Logf("  reduce %d: start=%.1f shuffleDone=%.1f end=%.1f", tt.Index, tt.Start, tt.ShuffleDone, tt.End)
+			}
+		}
+	}
+
+	type cfg struct {
+		name   string
+		policy cluster.Policy
+		depth  int
+		ssd    bool
+	}
+	for _, c := range []cfg{
+		{"native", cluster.Native, 0, false},
+		{"sfq2", cluster.SFQD, 2, false},
+		{"sfqd2", cluster.SFQD2, 0, false},
+		{"ssd-native", cluster.Native, 0, true},
+		{"ssd-sfq2", cluster.SFQD, 2, true},
+		{"ssd-sfqd2", cluster.SFQD2, 0, true},
+	} {
+		res, err := Run(Options{Scale: scale, Policy: c.policy, SFQDepth: c.depth, SSD: c.ssd, CaptureDepthTrace: true},
+			[]Entry{wordCount(scale, 32), teraGen(scale, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc2 := res.JobResult("wordcount")
+		tg := res.JobResult("teragen")
+		t.Logf("WC+TG %s: wc runtime=%.1f (slow %.0f%%) map=%.1f reduce=%.1f | tg=%.1f",
+			c.name, wc2.Runtime(), (wc2.Runtime()/wc.Runtime()-1)*100, wc2.MapPhase(), wc2.ReducePhase(), tg.Runtime())
+		if len(res.DepthTrace) > 0 {
+			hist := map[int]int{}
+			for _, p := range res.DepthTrace {
+				if p.Samples > 0 {
+					hist[p.Depth]++
+				}
+			}
+			t.Logf("  depth histogram: %v", hist)
+		}
+		for _, j := range res.JobHandles {
+			if j.Spec.Name == "wordcount" {
+				rd := res.Latency(j.App, iosched.PersistentRead)
+				iw := res.Latency(j.App, iosched.IntermediateWrite)
+				var mapDur float64
+				var nMaps int
+				var busy float64
+				for _, tt := range j.TaskTimings() {
+					if tt.Kind == "map" {
+						mapDur += tt.End - tt.Start
+						nMaps++
+						busy += tt.End - tt.Start
+					}
+				}
+				var redStart, redEnd float64
+				var nRed int
+				for _, tt := range j.TaskTimings() {
+					if tt.Kind == "reduce" {
+						redStart += tt.Start
+						redEnd += tt.End
+						nRed++
+					}
+				}
+				t.Logf("  wc read lat: n=%d mean=%.0fms p90=%.0fms | spill lat: mean=%.0fms | mean map dur=%.2fs (slot-sec=%.0f phase=%.1f ⇒ slots %.1f) | reduces start avg %.1f end avg %.1f",
+					rd.N(), rd.Mean()*1e3, rd.Percentile(90)*1e3, iw.Mean()*1e3,
+					mapDur/float64(nMaps), busy, j.Result().MapPhase(), busy/j.Result().MapPhase(),
+					redStart/float64(nRed), redEnd/float64(nRed))
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ibis/internal/cluster"
+	"ibis/internal/metrics"
+)
+
+// Fig02Result reproduces Figure 2: the read/write throughput profiles
+// of TeraSort and WordCount, each running alone.
+type Fig02Result struct {
+	Scale float64
+	// TeraSortRead/Write and WordCountRead/Write are cluster-wide MB/s
+	// per one-second bin.
+	TeraSortRead   []float64
+	TeraSortWrite  []float64
+	WordCountRead  []float64
+	WordCountWrite []float64
+}
+
+// Fig02 runs the two profile captures.
+func Fig02(scale float64) (*Fig02Result, error) {
+	out := &Fig02Result{Scale: scale}
+	for _, which := range []string{"terasort", "wordcount"} {
+		var e Entry
+		if which == "terasort" {
+			e = fullCores(teraSort(scale, 1))
+		} else {
+			e = fullCores(wordCount(scale, 1))
+		}
+		res, err := Run(Options{Scale: scale, Policy: cluster.Native, CaptureThroughput: true}, []Entry{e})
+		if err != nil {
+			return nil, err
+		}
+		read := toMBps(res.ReadSeries)
+		write := toMBps(res.WriteSeries)
+		if which == "terasort" {
+			out.TeraSortRead, out.TeraSortWrite = read, write
+		} else {
+			out.WordCountRead, out.WordCountWrite = read, write
+		}
+	}
+	return out, nil
+}
+
+func toMBps(ts *metrics.TimeSeries) []float64 {
+	rates := ts.Rate()
+	out := make([]float64, len(rates))
+	for i, r := range rates {
+		out[i] = r / 1e6
+	}
+	return out
+}
+
+// String renders the two profiles as compact text series.
+func (r *Fig02Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: I/O demands of TeraSort and WordCount (scale %.3g)\n", r.Scale)
+	fmt.Fprintf(&b, "(paper shape: TeraSort ~700+ MB/s peaks, WordCount much lighter)\n")
+	series := []struct {
+		name string
+		data []float64
+	}{
+		{"terasort/read", r.TeraSortRead},
+		{"terasort/write", r.TeraSortWrite},
+		{"wordcount/read", r.WordCountRead},
+		{"wordcount/write", r.WordCountWrite},
+	}
+	for _, s := range series {
+		peak, mean := summarize(s.data)
+		fmt.Fprintf(&b, "  %-16s span=%4ds peak=%7.1f MB/s mean=%7.1f MB/s\n", s.name, len(s.data), peak, mean)
+	}
+	return b.String()
+}
+
+func summarize(v []float64) (peak, mean float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+		if x > peak {
+			peak = x
+		}
+	}
+	return peak, sum / float64(len(v))
+}
+
+// Fig03Row is one bar of Figure 3: WordCount against one co-runner.
+type Fig03Row struct {
+	CoRunner      string
+	WCRuntime     float64
+	Slowdown      float64
+	PaperSlowdown float64
+}
+
+// Fig03Result reproduces Figure 3: WordCount interference on native
+// Hadoop for HDD and SSD setups.
+type Fig03Result struct {
+	Scale        float64
+	SSD          bool
+	StandaloneWC float64
+	Rows         []Fig03Row
+}
+
+// Fig03 measures native-Hadoop interference against the three
+// co-runners.
+func Fig03(scale float64, ssd bool) (*Fig03Result, error) {
+	opts := Options{Scale: scale, SSD: ssd, Policy: cluster.Native}
+	sa, err := standalone(opts, wordCount(scale, 1))
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig03Result{Scale: scale, SSD: ssd, StandaloneWC: sa.Runtime()}
+
+	paper := map[string]float64{ // fractional slowdowns from Figure 3
+		"teravalidate": 0.626, "teragen": 1.07, "terasort": 1.08,
+	}
+	if ssd {
+		paper = map[string]float64{
+			"teravalidate": 0.09, "teragen": 0.50, "terasort": 0.22,
+		}
+	}
+	coRunners := []struct {
+		name  string
+		entry Entry
+	}{
+		{"teravalidate", teraValidate(scale, 1)},
+		{"teragen", teraGen(scale, 1)},
+		{"terasort", teraSortContender(scale, 1)},
+	}
+	for _, co := range coRunners {
+		res, err := Run(opts, []Entry{wordCount(scale, 1), co.entry})
+		if err != nil {
+			return nil, err
+		}
+		wc := res.JobResult("wordcount")
+		out.Rows = append(out.Rows, Fig03Row{
+			CoRunner:      co.name,
+			WCRuntime:     wc.Runtime(),
+			Slowdown:      metrics.Slowdown(wc.Runtime(), sa.Runtime()),
+			PaperSlowdown: paper[co.name],
+		})
+	}
+	return out, nil
+}
+
+// String renders the interference table.
+func (r *Fig03Result) String() string {
+	setup := "HDD"
+	if r.SSD {
+		setup = "SSD"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3%s: WordCount on native Hadoop, %s setup (scale %.3g)\n",
+		map[bool]string{false: "a", true: "b"}[r.SSD], setup, r.Scale)
+	fmt.Fprintf(&b, "  standalone WordCount runtime: %.1f s\n", r.StandaloneWC)
+	fmt.Fprintf(&b, "  %-14s %10s %10s %10s\n", "co-runner", "runtime(s)", "slowdown", "paper")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-14s %10.1f %9.0f%% %9.0f%%\n",
+			row.CoRunner, row.WCRuntime, row.Slowdown*100, row.PaperSlowdown*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ibis/internal/cluster"
+	"ibis/internal/iosched"
+	"ibis/internal/metrics"
+)
+
+// isolationWeightWC is the WordCount:TeraGen sharing ratio used in the
+// isolation experiments (32:1 favoring WordCount).
+const isolationWeightWC = 32
+
+// Fig06Row is one configuration of the WordCount-vs-TeraGen isolation
+// study.
+type Fig06Row struct {
+	Config         string
+	WCRuntime      float64
+	Slowdown       float64
+	PaperSlowdown  float64
+	Throughput     float64 // total MB/s over the run
+	ThroughputLoss float64 // vs native
+	PaperTputLoss  float64
+}
+
+// Fig06Result reproduces Figures 6a and 6b (HDD) — and with SSD=true,
+// Figures 8a and 8b.
+type Fig06Result struct {
+	Scale        float64
+	SSD          bool
+	StandaloneWC float64
+	Rows         []Fig06Row
+}
+
+type isolationConfig struct {
+	name          string
+	policy        cluster.Policy
+	depth         int
+	paperSlow     float64
+	paperTputLoss float64
+}
+
+// Fig06 runs the isolation sweep on HDDs: native, SFQ(D) at four
+// depths, and SFQ(D2), all with a 32:1 weight favoring WordCount.
+func Fig06(scale float64) (*Fig06Result, error) {
+	configs := []isolationConfig{
+		{"native", cluster.Native, 0, 1.07, 0},
+		{"sfq(d=12)", cluster.SFQD, 12, 0.86, -0.11},
+		{"sfq(d=8)", cluster.SFQD, 8, 0.52, -0.10},
+		{"sfq(d=4)", cluster.SFQD, 4, 0.14, -0.13},
+		{"sfq(d=2)", cluster.SFQD, 2, 0.13, -0.20},
+		{"sfq(d2)", cluster.SFQD2, 0, 0.08, -0.04},
+	}
+	return isolationSweep(scale, false, configs)
+}
+
+// Fig08 repeats the isolation experiment on the SSD setup (native and
+// SFQ(D2) only, as in Figures 8a/8b).
+func Fig08(scale float64) (*Fig06Result, error) {
+	configs := []isolationConfig{
+		{"native", cluster.Native, 0, 0.50, 0},
+		{"sfq(d2)", cluster.SFQD2, 0, -0.05, 0.02},
+	}
+	return isolationSweep(scale, true, configs)
+}
+
+func isolationSweep(scale float64, ssd bool, configs []isolationConfig) (*Fig06Result, error) {
+	baseOpts := Options{Scale: scale, SSD: ssd, Policy: cluster.Native}
+	sa, err := standalone(baseOpts, wordCount(scale, 1))
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig06Result{Scale: scale, SSD: ssd, StandaloneWC: sa.Runtime()}
+
+	nativeTput := 0.0
+	for _, cfg := range configs {
+		opts := Options{Scale: scale, SSD: ssd, Policy: cfg.policy, SFQDepth: cfg.depth}
+		res, err := Run(opts, []Entry{
+			wordCount(scale, isolationWeightWC),
+			teraGen(scale, 1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		wc := res.JobResult("wordcount")
+		tput := res.MeanThroughput() / 1e6
+		if cfg.policy == cluster.Native {
+			nativeTput = tput
+		}
+		loss := 0.0
+		if nativeTput > 0 {
+			loss = tput/nativeTput - 1
+		}
+		out.Rows = append(out.Rows, Fig06Row{
+			Config:         cfg.name,
+			WCRuntime:      wc.Runtime(),
+			Slowdown:       metrics.Slowdown(wc.Runtime(), sa.Runtime()),
+			PaperSlowdown:  cfg.paperSlow,
+			Throughput:     tput,
+			ThroughputLoss: loss,
+			PaperTputLoss:  cfg.paperTputLoss,
+		})
+	}
+	return out, nil
+}
+
+// String renders both panels of the figure.
+func (r *Fig06Result) String() string {
+	figure := "6"
+	if r.SSD {
+		figure = "8"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %sa/%sb: WordCount vs TeraGen isolation, %s, weights %d:1 (scale %.3g)\n",
+		figure, figure, map[bool]string{false: "HDD", true: "SSD"}[r.SSD], isolationWeightWC, r.Scale)
+	fmt.Fprintf(&b, "  standalone WordCount runtime: %.1f s\n", r.StandaloneWC)
+	fmt.Fprintf(&b, "  %-11s %10s %9s %9s %12s %9s %9s\n",
+		"config", "wc(s)", "slow", "paper", "tput(MB/s)", "loss", "paper")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-11s %10.1f %8.0f%% %8.0f%% %12.1f %8.0f%% %8.0f%%\n",
+			row.Config, row.WCRuntime, row.Slowdown*100, row.PaperSlowdown*100,
+			row.Throughput, row.ThroughputLoss*100, row.PaperTputLoss*100)
+	}
+	return b.String()
+}
+
+// Fig07Result reproduces Figure 7: the SFQ(D2) depth/latency adaptation
+// trace on one datanode during the WordCount-vs-TeraGen run.
+type Fig07Result struct {
+	Scale float64
+	Trace []iosched.TracePoint
+}
+
+// Fig07 captures the controller trace from node 0's HDFS scheduler.
+func Fig07(scale float64) (*Fig07Result, error) {
+	res, err := Run(Options{
+		Scale:             scale,
+		Policy:            cluster.SFQD2,
+		CaptureDepthTrace: true,
+	}, []Entry{
+		wordCount(scale, isolationWeightWC),
+		teraGen(scale, 1),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig07Result{Scale: scale, Trace: res.DepthTrace}, nil
+}
+
+// DepthRange returns the min and max depth over the busy portion of the
+// trace.
+func (r *Fig07Result) DepthRange() (lo, hi int) {
+	lo, hi = 1<<30, 0
+	for _, p := range r.Trace {
+		if p.Samples == 0 {
+			continue
+		}
+		if p.Depth < lo {
+			lo = p.Depth
+		}
+		if p.Depth > hi {
+			hi = p.Depth
+		}
+	}
+	if hi == 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// ControllerDips counts the depth collapses of Figure 7: busy periods
+// where D fell to ≤2 right after operating at ≥5 — the controller's
+// timely reaction to write-back flushes and load bursts (the reaction
+// itself suppresses the latency spike, so the dip is the fingerprint).
+func (r *Fig07Result) ControllerDips() int {
+	dips := 0
+	prevDepth := 0
+	for _, p := range r.Trace {
+		if p.Samples == 0 {
+			continue
+		}
+		if p.Depth <= 2 && prevDepth >= 5 {
+			dips++
+		}
+		prevDepth = p.Depth
+	}
+	return dips
+}
+
+// String summarizes the trace.
+func (r *Fig07Result) String() string {
+	lo, hi := r.DepthRange()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: SFQ(D2) adaptation on one datanode (scale %.3g)\n", r.Scale)
+	fmt.Fprintf(&b, "  periods=%d depth-range=[%d,%d] controller-dips=%d\n",
+		len(r.Trace), lo, hi, r.ControllerDips())
+	fmt.Fprintf(&b, "  (paper: D bounded in [1,12], controller reacts to flush spikes in time)\n")
+	step := len(r.Trace) / 20
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(r.Trace); i += step {
+		p := r.Trace[i]
+		fmt.Fprintf(&b, "  t=%6.1fs D=%2d latency=%6.1fms\n", p.Time, p.Depth, p.Latency*1e3)
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ibis/internal/cluster"
+	"ibis/internal/metrics"
+)
+
+// Fig13Row is one application's interposition overhead.
+type Fig13Row struct {
+	App           string
+	NativeRuntime float64
+	IBISRuntime   float64
+	Overhead      float64
+	PaperOverhead float64
+}
+
+// Fig13Result reproduces Figure 13: the runtime overhead of IBIS
+// interposition and scheduling when each benchmark runs alone with all
+// 96 cores.
+type Fig13Result struct {
+	Scale float64
+	Rows  []Fig13Row
+}
+
+// Fig13 measures standalone native-vs-IBIS runtimes.
+func Fig13(scale float64) (*Fig13Result, error) {
+	out := &Fig13Result{Scale: scale}
+	apps := []struct {
+		name  string
+		entry Entry
+		paper float64
+	}{
+		{"wordcount", fullCores(wordCount(scale, 1)), 0.01},
+		{"teragen", fullCores(teraGen(scale, 1)), 0.02},
+		{"terasort", fullCores(teraSort(scale, 1)), 0.04},
+	}
+	for _, a := range apps {
+		nat, err := standalone(Options{Scale: scale, Policy: cluster.Native}, a.entry)
+		if err != nil {
+			return nil, err
+		}
+		ibis, err := standalone(Options{Scale: scale, Policy: cluster.SFQD2, Coordinate: true}, a.entry)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Fig13Row{
+			App:           a.name,
+			NativeRuntime: nat.Runtime(),
+			IBISRuntime:   ibis.Runtime(),
+			Overhead:      metrics.Slowdown(ibis.Runtime(), nat.Runtime()),
+			PaperOverhead: a.paper,
+		})
+	}
+	return out, nil
+}
+
+// String renders the overhead table.
+func (r *Fig13Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13: IBIS interposition overhead, each app alone with all cores (scale %.3g)\n", r.Scale)
+	fmt.Fprintf(&b, "  %-11s %11s %10s %10s %8s\n", "app", "native(s)", "ibis(s)", "overhead", "paper")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-11s %11.1f %10.1f %9.1f%% %7.0f%%\n",
+			row.App, row.NativeRuntime, row.IBISRuntime, row.Overhead*100, row.PaperOverhead*100)
+	}
+	return b.String()
+}
+
+// Table2Row is one resource-usage measurement of the scheduling
+// machinery (the simulator's proxy for daemon CPU/memory usage:
+// scheduler tag operations, broker traffic, and event counts, all
+// normalized per second of virtual time).
+type Table2Row struct {
+	App             string
+	Policy          string
+	EventsPerSec    float64
+	BrokerExchanges uint64
+	BrokerBytes     uint64
+}
+
+// Table2Result approximates Table 2: the coordination and scheduling
+// machinery's resource overhead is small and bounded.
+type Table2Result struct {
+	Scale float64
+	Rows  []Table2Row
+}
+
+// Table2 runs each benchmark alone under native and IBIS and reports
+// the bookkeeping costs.
+func Table2(scale float64) (*Table2Result, error) {
+	out := &Table2Result{Scale: scale}
+	apps := []struct {
+		name  string
+		entry Entry
+	}{
+		{"wordcount", fullCores(wordCount(scale, 1))},
+		{"teragen", fullCores(teraGen(scale, 1))},
+		{"terasort", fullCores(teraSort(scale, 1))},
+	}
+	for _, a := range apps {
+		for _, pol := range []cluster.Policy{cluster.Native, cluster.SFQD2} {
+			res, err := Run(Options{
+				Scale: scale, Policy: pol,
+				Coordinate: pol == cluster.SFQD2,
+			}, []Entry{a.entry})
+			if err != nil {
+				return nil, err
+			}
+			row := Table2Row{
+				App:             a.name,
+				Policy:          pol.String(),
+				BrokerExchanges: res.BrokerExchanges,
+				BrokerBytes:     res.BrokerExchanges * 48, // ≈2 entries/exchange
+			}
+			if res.Duration > 0 {
+				row.EventsPerSec = float64(res.EventsFired) / res.Duration
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// String renders the proxy table.
+func (r *Table2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 (proxy): scheduling machinery overhead (scale %.3g)\n", r.Scale)
+	fmt.Fprintf(&b, "  %-11s %-9s %14s %12s %12s\n", "app", "policy", "events/sim-s", "broker-msgs", "broker-bytes")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-11s %-9s %14.0f %12d %12d\n",
+			row.App, row.Policy, row.EventsPerSec, row.BrokerExchanges, row.BrokerBytes)
+	}
+	b.WriteString("  (paper: IBIS daemons add <5% CPU and <11% memory; here the proxy is\n")
+	b.WriteString("   bounded broker traffic and a modest event-rate increase under IBIS)\n")
+	return b.String()
+}

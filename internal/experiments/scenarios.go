@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"ibis/internal/mapreduce"
+	"ibis/internal/workloads"
+)
+
+// Paper-scale workload volumes (bytes), scaled by Options.Scale at run
+// time. The evaluation uses WordCount on 50 GB of Wikipedia text,
+// TeraGen producing 1 TB, TeraSort on 50–400 GB, and TeraValidate over
+// TeraSort-sized output.
+const (
+	wcInputFull = 50e9
+	tgOutFull   = 1e12
+	tsInputFull = 50e9
+	// tsCoFull is the TeraSort size used when it acts as the sustained
+	// co-runner/contender (the paper sweeps TeraSort 50–400 GB; a large
+	// input keeps the contention pressure up for the victim's full
+	// runtime).
+	tsCoFull    = 200e9
+	tvInputFull = 200e9
+)
+
+// halfCores is the pinned CPU allocation used throughout Section 7:
+// each of the two competing applications gets half of the 96 cores.
+const halfCores = 48
+
+// halfMemGB is the matching memory pin: half of the 192 GB task memory.
+const halfMemGB = 96
+
+// pinned wraps a spec as an Entry in its own half-resources pool,
+// mirroring the paper's "each with half of the CPU cores and memory".
+func pinned(s mapreduce.JobSpec) Entry {
+	s.CPUQuota = halfCores
+	s.Pool = s.Name
+	return Entry{Spec: s, PoolCores: halfCores, PoolMemGB: halfMemGB}
+}
+
+// withShare re-pins an entry to an arbitrary share of the 96-core,
+// 192 GB testbed.
+func withShare(e Entry, cores int) Entry {
+	e.Spec.CPUQuota = cores
+	e.Spec.Pool = e.Spec.Name
+	e.PoolCores = cores
+	e.PoolMemGB = 192 * float64(cores) / 96
+	return e
+}
+
+// wordCount builds the standard WordCount entry: 50 GB input, half the
+// cluster's resources, and the given I/O weight.
+func wordCount(scale, weight float64) Entry {
+	s := workloads.WordCountSpec(wcInputFull*scale, 6)
+	s.Weight = weight
+	return pinned(s)
+}
+
+// teraGen builds the TeraGen entry (1 TB output at paper scale). As is
+// standard benchmark practice, the generated data is written with
+// replication 1; the write pressure stays on the generating node's own
+// HDFS disk.
+func teraGen(scale, weight float64) Entry {
+	s := workloads.TeraGenSpec(tgOutFull*scale, 96)
+	s.Weight = weight
+	s.OutputReplication = 1
+	return pinned(s)
+}
+
+// teraSort builds the TeraSort entry (50 GB input at paper scale).
+func teraSort(scale, weight float64) Entry {
+	s := workloads.TeraSortSpec(tsInputFull*scale, 24)
+	s.Weight = weight
+	return pinned(s)
+}
+
+// teraSortContender builds the sustained 200 GB TeraSort co-runner.
+func teraSortContender(scale, weight float64) Entry {
+	s := workloads.TeraSortSpec(tsCoFull*scale, 24)
+	s.Weight = weight
+	return pinned(s)
+}
+
+// teraValidate builds the TeraValidate scan entry.
+func teraValidate(scale, weight float64) Entry {
+	s := workloads.TeraValidateSpec(tvInputFull * scale)
+	s.Weight = weight
+	return pinned(s)
+}
+
+// fullCores removes the CPU and pool caps (standalone overhead runs
+// use the whole testbed).
+func fullCores(e Entry) Entry {
+	e.Spec.CPUQuota = 0
+	e.Spec.Pool = ""
+	e.PoolCores = 0
+	e.PoolMemGB = 0
+	return e
+}
+
+// withWeight returns a copy of the entry with a different I/O weight.
+func withWeight(e Entry, w float64) Entry {
+	e.Spec.Weight = w
+	return e
+}
+
+// standalone runs one entry alone and returns its result.
+func standalone(opts Options, e Entry) (mapreduce.Result, error) {
+	res, err := Run(opts, []Entry{e})
+	if err != nil {
+		return mapreduce.Result{}, err
+	}
+	return res.JobResult(e.Spec.Name), nil
+}

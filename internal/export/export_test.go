@@ -1,0 +1,116 @@
+package export
+
+import (
+	"strings"
+	"testing"
+
+	"ibis/internal/iosched"
+	"ibis/internal/metrics"
+)
+
+func TestTimeSeriesCSV(t *testing.T) {
+	ts := metrics.NewTimeSeries(2)
+	ts.Add(0, 10)
+	ts.Add(3, 30)
+	var b strings.Builder
+	if err := TimeSeriesCSV(&b, "read,MB", ts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "time_s,read_MB" {
+		t.Fatalf("header = %q (commas must be sanitized)", lines[0])
+	}
+	if lines[1] != "0,5" || lines[2] != "2,15" {
+		t.Fatalf("rows = %v", lines[1:])
+	}
+}
+
+func TestTimeSeriesCSVNil(t *testing.T) {
+	if err := TimeSeriesCSV(&strings.Builder{}, "x", nil); err == nil {
+		t.Fatal("nil series accepted")
+	}
+}
+
+func TestMultiSeriesCSV(t *testing.T) {
+	a := metrics.NewTimeSeries(1)
+	a.Add(0, 1)
+	a.Add(1, 2)
+	b := metrics.NewTimeSeries(1)
+	b.Add(0, 3)
+	var out strings.Builder
+	if err := MultiSeriesCSV(&out, []string{"a", "b"}, []*metrics.TimeSeries{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	want := []string{"time_s,a,b", "0,1,3", "1,2,0"}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestMultiSeriesCSVMismatch(t *testing.T) {
+	a := metrics.NewTimeSeries(1)
+	b := metrics.NewTimeSeries(2)
+	if err := MultiSeriesCSV(&strings.Builder{}, []string{"a", "b"}, []*metrics.TimeSeries{a, b}); err == nil {
+		t.Fatal("bin-width mismatch accepted")
+	}
+	if err := MultiSeriesCSV(&strings.Builder{}, []string{"a"}, []*metrics.TimeSeries{a, a}); err == nil {
+		t.Fatal("name/series count mismatch accepted")
+	}
+}
+
+func TestCDFCSV(t *testing.T) {
+	d := metrics.NewDistribution()
+	d.Add(2)
+	d.Add(1)
+	var b strings.Builder
+	if err := CDFCSV(&b, "runtime_s", d); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "runtime_s,cumulative_fraction" || lines[1] != "1,0.5" || lines[2] != "2,1" {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestDepthTraceCSV(t *testing.T) {
+	trace := []iosched.TracePoint{
+		{Time: 1, Depth: 6, Latency: 0.1, Lref: 0.09, Samples: 42},
+	}
+	var b strings.Builder
+	if err := DepthTraceCSV(&b, trace); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "time_s,depth,latency_ms,lref_ms,samples" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,6,100,90,42" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, []string{"config", "slowdown"}, [][]string{
+		{"native", "1.07"},
+		{"sfq(d2)", "0.08"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "sfq(d2),0.08") {
+		t.Fatalf("output = %q", b.String())
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	if err := Table(&strings.Builder{}, nil, nil); err == nil {
+		t.Fatal("empty header accepted")
+	}
+	if err := Table(&strings.Builder{}, []string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Fatal("ragged row accepted")
+	}
+}

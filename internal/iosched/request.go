@@ -1,0 +1,137 @@
+// Package iosched implements the core contribution of the IBIS paper:
+// the interposed big-data I/O scheduling framework and its
+// proportional-share schedulers — classic SFQ(D) with a static dispatch
+// depth and the new SFQ(D2) whose depth is adapted online by an integral
+// feedback controller steering observed I/O latency toward a profiled
+// reference.
+//
+// Every I/O issued by an application phase (persistent HDFS reads and
+// writes, intermediate local-FS spills and merges, and shuffle serving)
+// is tagged with the application's identifier and I/O weight and routed
+// through a per-device Scheduler, exactly as IBIS interposes the
+// DFSClient, local I/O, and shuffle-servlet paths on every datanode.
+package iosched
+
+import (
+	"fmt"
+
+	"ibis/internal/storage"
+)
+
+// AppID identifies an application (a MapReduce job, a Hive query, ...)
+// across the entire cluster. IDs are assigned by the job scheduler and
+// carried on every I/O request — the paper's DFSClient header extension.
+type AppID string
+
+// Class identifies the I/O phase a request belongs to. The scheduler
+// treats all classes uniformly (that is the point of the interposition
+// layer); classes exist for accounting and for wiring baselines that can
+// only control a subset (cgroups sees intermediate I/O only).
+type Class int
+
+const (
+	// PersistentRead is a map task reading its input split from the DFS.
+	PersistentRead Class = iota
+	// PersistentWrite is a reduce task writing final output to the DFS
+	// (including replication pipeline copies).
+	PersistentWrite
+	// IntermediateRead covers merge reads and shuffle-serving reads of
+	// map outputs from the local file system.
+	IntermediateRead
+	// IntermediateWrite covers spill/merge writes of in-progress data to
+	// the local file system.
+	IntermediateWrite
+	// NetworkTransfer is a network hop (shuffle or replication
+	// pipeline). Only used when the cluster schedules NIC bandwidth —
+	// the paper's OpenFlow-style extension; by default IBIS controls
+	// the network indirectly at the storage endpoints.
+	NetworkTransfer
+	numClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case PersistentRead:
+		return "persistent-read"
+	case PersistentWrite:
+		return "persistent-write"
+	case IntermediateRead:
+		return "intermediate-read"
+	case IntermediateWrite:
+		return "intermediate-write"
+	case NetworkTransfer:
+		return "network"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// OpKind maps the class to the device-level operation direction.
+// Network transfers count as writes (they push data).
+func (c Class) OpKind() storage.OpKind {
+	switch c {
+	case PersistentRead, IntermediateRead:
+		return storage.Read
+	default:
+		return storage.Write
+	}
+}
+
+// Persistent reports whether the class is DFS (distributed) I/O — the
+// kind cgroups-style local controls cannot differentiate.
+func (c Class) Persistent() bool {
+	return c == PersistentRead || c == PersistentWrite
+}
+
+// Request is one tagged I/O operation presented to a scheduler.
+type Request struct {
+	// App is the issuing application's cluster-wide identifier.
+	App AppID
+	// Weight is the application's I/O service weight; only relative
+	// values matter. Must be positive.
+	Weight float64
+	// Class is the I/O phase.
+	Class Class
+	// Size is the transfer size in bytes.
+	Size float64
+	// OnDone, if non-nil, fires at completion with the request's total
+	// latency (arrival to completion, queueing included).
+	OnDone func(latency float64)
+
+	// Scheduling state (owned by the scheduler).
+	arrive    float64
+	dispatch  float64
+	cost      float64
+	startTag  float64
+	finishTag float64
+	seq       uint64
+	heapIndex int
+}
+
+// Arrive returns the virtual time the request entered the scheduler.
+func (r *Request) Arrive() float64 { return r.arrive }
+
+// StartTag returns the SFQ start tag assigned at arrival (zero for
+// schedulers that do not use tags).
+func (r *Request) StartTag() float64 { return r.startTag }
+
+// FinishTag returns the SFQ finish tag assigned at arrival.
+func (r *Request) FinishTag() float64 { return r.finishTag }
+
+// validate panics on malformed requests; requests are constructed by the
+// framework, so malformedness is a programming error.
+func (r *Request) validate() {
+	if r.App == "" {
+		panic("iosched: request without app id")
+	}
+	if r.Weight <= 0 {
+		panic(fmt.Sprintf("iosched: request for %q with non-positive weight %g", r.App, r.Weight))
+	}
+	if r.Size < 0 {
+		panic(fmt.Sprintf("iosched: request for %q with negative size %g", r.App, r.Size))
+	}
+	if r.Class < 0 || r.Class >= numClasses {
+		panic(fmt.Sprintf("iosched: request for %q with unknown class %d", r.App, int(r.Class)))
+	}
+}

@@ -1,0 +1,179 @@
+package iosched
+
+import (
+	"sort"
+
+	"ibis/internal/sim"
+	"ibis/internal/storage"
+)
+
+// Backend is the resource a scheduler dispatches to. *storage.Device
+// satisfies it; the cluster package also adapts NIC links so the same
+// schedulers can manage network bandwidth (the paper's OpenFlow-style
+// extension).
+type Backend interface {
+	// Cost converts an operation to service units.
+	Cost(kind storage.OpKind, size float64) float64
+	// Submit starts servicing; onDone receives the in-resource latency.
+	Submit(kind storage.OpKind, size float64, onDone func(latency float64))
+}
+
+var _ Backend = (*storage.Device)(nil)
+
+// Scheduler is the interposition seam: every I/O on a datanode device
+// passes through exactly one Scheduler, which decides when to dispatch
+// it to the underlying storage.
+type Scheduler interface {
+	// Submit presents a tagged request. The scheduler owns it from this
+	// point and will eventually dispatch it and invoke OnDone.
+	Submit(*Request)
+	// Name identifies the policy, e.g. "native", "sfq(d=4)", "sfq(d2)".
+	Name() string
+	// Queued returns the number of requests waiting for dispatch.
+	Queued() int
+	// InFlight returns the number of requests dispatched to the device
+	// and not yet completed.
+	InFlight() int
+	// Accounting exposes per-application service counters.
+	Accounting() *Accounting
+}
+
+// Observer receives a completion notification for every request a
+// scheduler finishes. Used by metrics collectors and experiment probes.
+type Observer func(req *Request, latency float64)
+
+// AppService records the cumulative service delivered to one app by one
+// scheduler.
+type AppService struct {
+	// Bytes is the raw data volume serviced.
+	Bytes float64
+	// Cost is the normalized service (device cost units); this is what
+	// proportional sharing and the DSFQ delay operate on.
+	Cost float64
+	// Requests is the completed request count.
+	Requests uint64
+	// ByClass splits bytes per I/O class.
+	ByClass [numClasses]float64
+}
+
+// Accounting tracks cumulative per-app service for a scheduler. It backs
+// both fairness measurements and the broker's coordination vectors.
+type Accounting struct {
+	apps map[AppID]*AppService
+}
+
+// NewAccounting returns an empty account book.
+func NewAccounting() *Accounting {
+	return &Accounting{apps: make(map[AppID]*AppService)}
+}
+
+func (a *Accounting) add(req *Request) {
+	s := a.apps[req.App]
+	if s == nil {
+		s = &AppService{}
+		a.apps[req.App] = s
+	}
+	s.Bytes += req.Size
+	s.Cost += req.cost
+	s.Requests++
+	s.ByClass[req.Class] += req.Size
+}
+
+// AddExternal records a completed request serviced by a scheduler
+// implemented outside this package (e.g. the cgroups baselines), with
+// the device cost supplied explicitly.
+func (a *Accounting) AddExternal(req *Request, cost float64) {
+	req.cost = cost
+	a.add(req)
+}
+
+// Service returns the counters for one app (zero value if unseen).
+func (a *Accounting) Service(app AppID) AppService {
+	if s := a.apps[app]; s != nil {
+		return *s
+	}
+	return AppService{}
+}
+
+// Apps returns the app IDs seen, sorted for determinism.
+func (a *Accounting) Apps() []AppID {
+	ids := make([]AppID, 0, len(a.apps))
+	for id := range a.apps {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// CostVector returns a copy of the per-app cumulative cost — the message
+// a local scheduler sends the Scheduling Broker each period.
+func (a *Accounting) CostVector() map[AppID]float64 {
+	v := make(map[AppID]float64, len(a.apps))
+	for id, s := range a.apps {
+		v[id] = s.Cost
+	}
+	return v
+}
+
+// TotalBytes sums serviced bytes across apps.
+func (a *Accounting) TotalBytes() float64 {
+	t := 0.0
+	for _, s := range a.apps {
+		t += s.Bytes
+	}
+	return t
+}
+
+// FIFO is the native baseline: requests are forwarded to the device the
+// moment they arrive, with no admission control at all — TeraGen's I/Os
+// "are sent to storage as soon as they come without any control".
+type FIFO struct {
+	eng      *sim.Engine
+	dev      Backend
+	acct     *Accounting
+	observer Observer
+	inflight int
+	seq      uint64
+}
+
+// NewFIFO builds the native pass-through scheduler for a device.
+func NewFIFO(eng *sim.Engine, dev Backend) *FIFO {
+	return &FIFO{eng: eng, dev: dev, acct: NewAccounting()}
+}
+
+// SetObserver installs a completion observer.
+func (f *FIFO) SetObserver(o Observer) { f.observer = o }
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "native" }
+
+// Queued implements Scheduler; FIFO never queues.
+func (f *FIFO) Queued() int { return 0 }
+
+// InFlight implements Scheduler.
+func (f *FIFO) InFlight() int { return f.inflight }
+
+// Accounting implements Scheduler.
+func (f *FIFO) Accounting() *Accounting { return f.acct }
+
+// Submit implements Scheduler.
+func (f *FIFO) Submit(req *Request) {
+	req.validate()
+	req.arrive = f.eng.Now()
+	req.dispatch = req.arrive
+	req.cost = f.dev.Cost(req.Class.OpKind(), req.Size)
+	req.seq = f.seq
+	f.seq++
+	f.inflight++
+	f.dev.Submit(req.Class.OpKind(), req.Size, func(float64) {
+		f.inflight--
+		lat := f.eng.Now() - req.arrive
+		f.acct.add(req)
+		if f.observer != nil {
+			f.observer(req, lat)
+		}
+		if req.OnDone != nil {
+			req.OnDone(lat)
+		}
+	})
+}

@@ -1,0 +1,235 @@
+package iosched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"ibis/internal/sim"
+	"ibis/internal/storage"
+)
+
+// Coordinator supplies the global I/O service information a local
+// scheduler needs to apply the DSFQ total-service rule: the cumulative
+// service (cost units) an application has received on every node other
+// than this one, as currently known from the Scheduling Broker.
+type Coordinator interface {
+	OtherService(app AppID) float64
+}
+
+// flowState is the per-application SFQ bookkeeping on one scheduler.
+type flowState struct {
+	lastFinish float64 // finish tag of the flow's most recent request
+	lastOther  float64 // other-node service snapshot at last arrival
+	seenOther  bool    // whether lastOther has been initialized
+}
+
+// SFQ is a Start-time Fair Queueing scheduler with a bounded number of
+// concurrently outstanding requests (the depth D), per Jin et al.'s
+// SFQ(D). With a DepthController attached it becomes the paper's SFQ(D2),
+// adapting D each control period. With a Coordinator attached it applies
+// the DSFQ delay so that *total* cluster service is shared
+// proportionally, not just local service.
+type SFQ struct {
+	eng      *sim.Engine
+	dev      Backend
+	acct     *Accounting
+	observer Observer
+
+	queue  reqHeap
+	flows  map[AppID]*flowState
+	vtime  float64
+	seq    uint64
+	coord  Coordinator
+	static int // static depth; used when ctrl == nil
+	ctrl   *DepthController
+
+	inflight int
+
+	// Counters for overhead accounting (Table 2 proxy).
+	dispatched uint64
+	tagOps     uint64
+}
+
+// NewSFQD builds a classic SFQ(D) scheduler with a static depth.
+func NewSFQD(eng *sim.Engine, dev Backend, depth int) *SFQ {
+	if depth < 1 {
+		panic(fmt.Sprintf("iosched: SFQ(D) depth %d < 1", depth))
+	}
+	return &SFQ{
+		eng:    eng,
+		dev:    dev,
+		acct:   NewAccounting(),
+		flows:  make(map[AppID]*flowState),
+		static: depth,
+	}
+}
+
+// NewSFQD2 builds the paper's SFQ(D2): SFQ whose depth is driven by the
+// supplied feedback controller. The controller is started immediately.
+func NewSFQD2(eng *sim.Engine, dev Backend, cfg ControllerConfig) *SFQ {
+	s := &SFQ{
+		eng:   eng,
+		dev:   dev,
+		acct:  NewAccounting(),
+		flows: make(map[AppID]*flowState),
+	}
+	s.ctrl = newDepthController(eng, cfg, func() {
+		// Depth may have increased; try to fill the new slots.
+		s.dispatch()
+	})
+	return s
+}
+
+// SetCoordinator attaches the distributed-coordination delay source.
+// Passing nil disables coordination (the paper's "No Sync" mode).
+func (s *SFQ) SetCoordinator(c Coordinator) { s.coord = c }
+
+// SetObserver installs a completion observer.
+func (s *SFQ) SetObserver(o Observer) { s.observer = o }
+
+// Name implements Scheduler.
+func (s *SFQ) Name() string {
+	if s.ctrl != nil {
+		return "sfq(d2)"
+	}
+	return fmt.Sprintf("sfq(d=%d)", s.static)
+}
+
+// Queued implements Scheduler.
+func (s *SFQ) Queued() int { return s.queue.Len() }
+
+// InFlight implements Scheduler.
+func (s *SFQ) InFlight() int { return s.inflight }
+
+// Accounting implements Scheduler.
+func (s *SFQ) Accounting() *Accounting { return s.acct }
+
+// Depth returns the current dispatch bound.
+func (s *SFQ) Depth() int {
+	if s.ctrl != nil {
+		return s.ctrl.Depth()
+	}
+	return s.static
+}
+
+// Controller returns the depth controller (nil for static SFQ(D)).
+func (s *SFQ) Controller() *DepthController { return s.ctrl }
+
+// VirtualTime returns the scheduler's current virtual time (the start
+// tag of the most recently dispatched request).
+func (s *SFQ) VirtualTime() float64 { return s.vtime }
+
+// Dispatched returns the number of requests sent to the device so far.
+func (s *SFQ) Dispatched() uint64 { return s.dispatched }
+
+// TagOps returns the number of tag computations performed, a proxy for
+// the scheduler's CPU overhead.
+func (s *SFQ) TagOps() uint64 { return s.tagOps }
+
+// Submit implements Scheduler. Tags are computed per SFQ:
+//
+//	S(r) = max(v(arrival), F(prev_f) [+ δ_f/w_f])
+//	F(r) = S(r) + cost(r)/w_f
+//
+// where δ_f is the DSFQ delay — the service flow f received on other
+// nodes since its previous arrival here.
+func (s *SFQ) Submit(req *Request) {
+	req.validate()
+	req.arrive = s.eng.Now()
+	req.cost = s.dev.Cost(req.Class.OpKind(), req.Size)
+	req.seq = s.seq
+	s.seq++
+	s.tagOps++
+
+	f := s.flows[req.App]
+	if f == nil {
+		f = &flowState{lastFinish: s.vtime}
+		s.flows[req.App] = f
+	}
+
+	base := f.lastFinish
+	if s.coord != nil {
+		other := s.coord.OtherService(req.App)
+		if !f.seenOther {
+			// First arrival: no delay, just take the snapshot.
+			f.lastOther = other
+			f.seenOther = true
+		} else if other > f.lastOther {
+			base += (other - f.lastOther) / req.Weight
+			f.lastOther = other
+		}
+	}
+	req.startTag = math.Max(s.vtime, base)
+	req.finishTag = req.startTag + req.cost/req.Weight
+	f.lastFinish = req.finishTag
+
+	heap.Push(&s.queue, req)
+	s.dispatch()
+}
+
+// dispatch sends queued requests to the device while capacity remains.
+func (s *SFQ) dispatch() {
+	for s.queue.Len() > 0 && s.inflight < s.Depth() {
+		req := heap.Pop(&s.queue).(*Request)
+		s.vtime = req.startTag
+		s.inflight++
+		s.dispatched++
+		req.dispatch = s.eng.Now()
+		s.dev.Submit(req.Class.OpKind(), req.Size, func(devLat float64) {
+			s.complete(req, devLat)
+		})
+	}
+}
+
+func (s *SFQ) complete(req *Request, devLat float64) {
+	s.inflight--
+	total := s.eng.Now() - req.arrive
+	s.acct.add(req)
+	if s.ctrl != nil {
+		s.ctrl.Sample(devLat, req.Class.OpKind() == storage.Read)
+	}
+	if s.observer != nil {
+		s.observer(req, total)
+	}
+	// Refill the dispatch window before surfacing the completion so the
+	// device never idles while the queue is backlogged.
+	s.dispatch()
+	if req.OnDone != nil {
+		req.OnDone(total)
+	}
+}
+
+// reqHeap orders requests by (startTag, seq).
+type reqHeap []*Request
+
+func (h reqHeap) Len() int { return len(h) }
+
+func (h reqHeap) Less(i, j int) bool {
+	if h[i].startTag != h[j].startTag {
+		return h[i].startTag < h[j].startTag
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h reqHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+
+func (h *reqHeap) Push(x any) {
+	r := x.(*Request)
+	r.heapIndex = len(*h)
+	*h = append(*h, r)
+}
+
+func (h *reqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	old[n-1] = nil
+	r.heapIndex = -1
+	*h = old[:n-1]
+	return r
+}

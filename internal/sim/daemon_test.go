@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestDaemonDoesNotKeepSimAlive(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		e.ScheduleDaemon(1, tick)
+	}
+	e.ScheduleDaemon(1, tick)
+	end := e.Run()
+	if end != 0 || ticks != 0 {
+		t.Fatalf("daemon-only sim ran to %v with %d ticks, want immediate stop", end, ticks)
+	}
+}
+
+func TestDaemonRunsWhileLiveWorkPending(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		e.ScheduleDaemon(1, tick)
+	}
+	e.ScheduleDaemon(1, tick)
+	e.Schedule(5.5, func() {})
+	e.Run()
+	if ticks != 5 {
+		t.Fatalf("ticks = %d over 5.5s at 1s period, want 5", ticks)
+	}
+}
+
+func TestDaemonSpawnedLiveWorkExtendsRun(t *testing.T) {
+	e := NewEngine()
+	spawned := false
+	e.ScheduleDaemon(1, func() {
+		// A daemon may spawn live work; the run must continue for it.
+		spawned = true
+		e.Schedule(2, func() {})
+	})
+	e.Schedule(1.5, func() {}) // keeps the sim alive past the daemon tick
+	end := e.Run()
+	if !spawned {
+		t.Fatal("daemon never fired")
+	}
+	if end != 3 {
+		t.Fatalf("end = %v, want 3 (daemon-spawned live event at 1+2)", end)
+	}
+}
+
+func TestCancelLiveEventReleasesRun(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(100, func() {})
+	e.ScheduleDaemon(1, func() {})
+	e.Cancel(ev)
+	end := e.Run()
+	if end != 0 {
+		t.Fatalf("end = %v; cancelling the only live event should stop the run", end)
+	}
+	if e.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", e.Live())
+	}
+}
+
+func TestCancelDaemonDoesNotUnderflowLive(t *testing.T) {
+	e := NewEngine()
+	d := e.ScheduleDaemon(5, func() {})
+	e.Cancel(d)
+	e.Cancel(d) // double cancel
+	e.Schedule(1, func() {})
+	if e.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", e.Live())
+	}
+	e.Run()
+	if e.Live() != 0 {
+		t.Fatalf("Live = %d after run, want 0", e.Live())
+	}
+}
+
+func TestRunUntilWithDaemonsOnly(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.ScheduleDaemon(1, func() { fired = true })
+	e.RunUntil(10)
+	if fired {
+		t.Fatal("daemon fired with no live work")
+	}
+}
+
+func TestStepExecutesDaemons(t *testing.T) {
+	// Step is a low-level debugging aid: it executes whatever is next,
+	// daemon or not.
+	e := NewEngine()
+	fired := false
+	e.ScheduleDaemon(1, func() { fired = true })
+	if !e.Step() || !fired {
+		t.Fatal("Step skipped the daemon event")
+	}
+}

@@ -1,0 +1,216 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// and a processor-sharing resource model used as the substrate for the
+// IBIS cluster simulator.
+//
+// Virtual time is measured in float64 seconds. Events scheduled for the
+// same instant fire in the order they were scheduled (FIFO tie-breaking
+// on a monotonically increasing sequence number), which makes every run
+// bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a handle to a scheduled callback. It can be cancelled as long
+// as it has not fired yet.
+type Event struct {
+	time     float64
+	seq      uint64
+	index    int // heap index, -1 once removed
+	fn       func()
+	canceled bool
+	daemon   bool
+}
+
+// Time returns the virtual time at which the event is scheduled to fire.
+func (e *Event) Time() float64 { return e.time }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is a discrete-event simulation executive. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now    float64
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+	live   int // pending non-daemon events
+}
+
+// NewEngine returns an engine with virtual time 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far, a useful progress
+// and complexity metric for experiments.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of scheduled-but-unfired events, including
+// cancelled events that have not yet been popped.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule runs fn after delay seconds of virtual time. A negative delay
+// is treated as zero. It returns a cancellable handle.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t. Times before Now are clamped to
+// Now (the event fires "immediately", after already-queued events for the
+// current instant).
+func (e *Engine) At(t float64, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil fn")
+	}
+	if t < e.now || math.IsNaN(t) {
+		t = e.now
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.live++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleDaemon is like Schedule, but the event does not keep the
+// simulation alive: Run terminates once only daemon events remain.
+// Periodic housekeeping (controller ticks, broker exchanges, metric
+// sampling) should use daemon events so a simulation ends when the
+// workload does.
+func (e *Engine) ScheduleDaemon(delay float64, fn func()) *Event {
+	ev := e.Schedule(delay, fn)
+	ev.daemon = true
+	e.live--
+	return ev
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired or was already cancelled is a no-op. Cancel(nil) is a
+// no-op too, so callers can cancel optional timers unconditionally.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return
+	}
+	ev.canceled = true
+	if !ev.daemon {
+		e.live--
+	}
+}
+
+// Halt stops the currently executing Run/RunUntil after the current event
+// callback returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events until the queue is empty. It returns the final
+// virtual time.
+func (e *Engine) Run() float64 {
+	return e.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with time <= limit. Events exactly at limit
+// are executed. It returns the virtual time of the last executed event,
+// or the starting time if nothing ran. After RunUntil, Now is
+// min(limit, time of next pending event) if the queue is non-empty and
+// limit was reached, else the time of the last event.
+func (e *Engine) RunUntil(limit float64) float64 {
+	e.halted = false
+	for e.queue.Len() > 0 && e.live > 0 {
+		next := e.queue.Peek()
+		if next.time > limit {
+			// Advance the clock to the horizon without firing.
+			if limit > e.now && !math.IsInf(limit, 1) {
+				e.now = limit
+			}
+			return e.now
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		e.fired++
+		if !ev.daemon {
+			e.live--
+		}
+		ev.fn()
+		if e.halted {
+			break
+		}
+	}
+	return e.now
+}
+
+// Live returns the number of pending non-daemon events.
+func (e *Engine) Live() int { return e.live }
+
+// Step executes exactly one (non-cancelled) event if one is pending and
+// reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.time
+		e.fired++
+		if !ev.daemon {
+			e.live--
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// String implements fmt.Stringer for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now=%.3fs pending=%d fired=%d}", e.now, e.queue.Len(), e.fired)
+}
+
+// eventHeap is a min-heap ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+func (h eventHeap) Peek() *Event { return h[0] }

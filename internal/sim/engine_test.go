@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	e.Schedule(2.5, func() { at = e.Now() })
+	e.Run()
+	if at != 2.5 {
+		t.Fatalf("event fired at %v, want 2.5", at)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("Now() = %v, want 2.5", e.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		e.Schedule(d, func() { got = append(got, d) })
+	}
+	e.Run()
+	want := []float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestNegativeDelayClampedToNow(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(3, func() {
+		e.Schedule(-5, func() {
+			fired = true
+			if e.Now() != 3 {
+				t.Errorf("negative-delay event fired at %v, want 3", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("negative-delay event never fired")
+	}
+}
+
+func TestAtBeforeNowClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		e.At(2, func() {
+			if e.Now() != 10 {
+				t.Errorf("past At fired at %v, want 10", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelNilIsNoop(t *testing.T) {
+	e := NewEngine()
+	e.Cancel(nil) // must not panic
+}
+
+func TestCancelFiredEventIsNoop(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	e.Run()
+	e.Cancel(ev) // must not panic
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, d := range []float64{1, 2, 3, 4} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("Now() = %v, want clock advanced to limit 2.5", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after Run fired %v, want all 4", fired)
+	}
+}
+
+func TestRunUntilInclusiveAtLimit(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(2, func() { fired = true })
+	e.RunUntil(2)
+	if !fired {
+		t.Fatal("event exactly at the limit did not fire")
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 5; i++ {
+		e.Schedule(float64(i+1), func() {
+			count++
+			if count == 2 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want Run halted after 2 events", count)
+	}
+	// Run resumes afterwards.
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d after resume, want 5", count)
+	}
+}
+
+func TestStepExecutesOneEvent(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func() { count++ })
+	e.Schedule(2, func() { count++ })
+	if !e.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if count != 1 {
+		t.Fatalf("count = %d after one Step, want 1", count)
+	}
+	if !e.Step() || e.Step() {
+		t.Fatal("Step count mismatch")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(0.01, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if got, want := e.Now(), 0.01*99; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestAtNilFnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil) did not panic")
+		}
+	}()
+	NewEngine().At(1, nil)
+}
+
+func TestNaNDelayTreatedAsZero(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(math.NaN(), func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 0 {
+		t.Fatalf("NaN delay: fired=%v now=%v", fired, e.Now())
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the engine terminates with Now equal to the max delay.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []float64
+		maxD := 0.0
+		for _, r := range raw {
+			d := float64(r) / 100.0
+			if d > maxD {
+				maxD = d
+			}
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		return e.Now() == maxD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleavings of scheduling and cancelling never fire a
+// cancelled event and always fire every non-cancelled one.
+func TestPropertyCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		n := 1 + rng.Intn(50)
+		fired := make([]bool, n)
+		evs := make([]*Event, n)
+		cancelled := make([]bool, n)
+		for i := 0; i < n; i++ {
+			i := i
+			evs[i] = e.Schedule(rng.Float64()*10, func() { fired[i] = true })
+		}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				e.Cancel(evs[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := 0; i < n; i++ {
+			if cancelled[i] && fired[i] {
+				t.Fatalf("trial %d: cancelled event %d fired", trial, i)
+			}
+			if !cancelled[i] && !fired[i] {
+				t.Fatalf("trial %d: live event %d did not fire", trial, i)
+			}
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(7))
+		var trace []float64
+		var spawn func()
+		spawn = func() {
+			trace = append(trace, e.Now())
+			if len(trace) < 200 {
+				e.Schedule(rng.Float64(), spawn)
+				if rng.Intn(3) == 0 {
+					e.Schedule(rng.Float64(), func() { trace = append(trace, -e.Now()) })
+				}
+			}
+		}
+		e.Schedule(0, spawn)
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	e := NewEngine()
+	if e.String() == "" {
+		t.Fatal("String() empty")
+	}
+}

@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// CapacityFunc maps the number of concurrently serviced jobs to the
+// aggregate service rate of a resource, in service units per second.
+// It must be positive for every n >= 1.
+type CapacityFunc func(n int) float64
+
+// ConstantCapacity returns a CapacityFunc with a fixed aggregate rate
+// regardless of concurrency.
+func ConstantCapacity(rate float64) CapacityFunc {
+	return func(int) float64 { return rate }
+}
+
+// PSJob is one unit of work being serviced by a PSResource.
+type PSJob struct {
+	res       *PSResource
+	remaining float64 // service units left
+	demand    float64 // total service units requested
+	start     float64 // virtual time service began
+	seq       uint64  // submission order, for deterministic tie-breaking
+	onDone    func()
+	active    bool
+	// Payload lets callers attach arbitrary context to a job.
+	Payload any
+}
+
+// Demand returns the total service units the job requested.
+func (j *PSJob) Demand() float64 { return j.demand }
+
+// Remaining returns the service units still owed to the job. It is only
+// meaningful mid-update; callers that need an exact instantaneous value
+// should call PSResource.Sync first.
+func (j *PSJob) Remaining() float64 { return j.remaining }
+
+// Start returns the virtual time at which service of the job began.
+func (j *PSJob) Start() float64 { return j.start }
+
+// Active reports whether the job is still in service.
+func (j *PSJob) Active() bool { return j.active }
+
+// PSResource models a processor-sharing server: all active jobs progress
+// simultaneously, each receiving an equal share of the aggregate capacity,
+// which may itself depend on the number of active jobs (seek thrashing on
+// disks, internal parallelism on SSDs, ...).
+//
+// A capacity disturbance factor can be applied (SetDisturbance) to model
+// transient slowdowns such as write-back flushes.
+type PSResource struct {
+	eng         *Engine
+	capacity    CapacityFunc
+	disturbance float64 // multiplier on capacity, default 1
+	jobs        map[*PSJob]struct{}
+	lastUpdate  float64
+	nextDone    *Event
+	name        string
+	jobSeq      uint64
+
+	// Cumulative accounting.
+	servedUnits float64
+	busyTime    float64
+	completed   uint64
+}
+
+// NewPSResource creates a processor-sharing resource driven by eng.
+func NewPSResource(eng *Engine, name string, capacity CapacityFunc) *PSResource {
+	if capacity == nil {
+		panic("sim: NewPSResource requires a capacity function")
+	}
+	return &PSResource{
+		eng:         eng,
+		capacity:    capacity,
+		disturbance: 1,
+		jobs:        make(map[*PSJob]struct{}),
+		lastUpdate:  eng.Now(),
+		name:        name,
+	}
+}
+
+// Name returns the identifier given at construction.
+func (r *PSResource) Name() string { return r.name }
+
+// InFlight returns the number of jobs currently in service.
+func (r *PSResource) InFlight() int { return len(r.jobs) }
+
+// ServedUnits returns the cumulative service units delivered.
+func (r *PSResource) ServedUnits() float64 { return r.servedUnits }
+
+// BusyTime returns the cumulative virtual time during which at least one
+// job was in service.
+func (r *PSResource) BusyTime() float64 { return r.busyTime }
+
+// Completed returns the number of jobs fully serviced.
+func (r *PSResource) Completed() uint64 { return r.completed }
+
+// Rate returns the current aggregate service rate (units/second), i.e.
+// capacity at the current concurrency scaled by the disturbance factor.
+// Zero when idle.
+func (r *PSResource) Rate() float64 {
+	n := len(r.jobs)
+	if n == 0 {
+		return 0
+	}
+	return r.capacity(n) * r.disturbance
+}
+
+// SetDisturbance scales the resource capacity by factor (e.g. 0.2 during
+// a write-back flush). factor must be > 0.
+func (r *PSResource) SetDisturbance(factor float64) {
+	if factor <= 0 || math.IsNaN(factor) {
+		panic(fmt.Sprintf("sim: invalid disturbance factor %v", factor))
+	}
+	r.advance()
+	r.disturbance = factor
+	r.reschedule()
+}
+
+// Disturbance returns the current capacity multiplier.
+func (r *PSResource) Disturbance() float64 { return r.disturbance }
+
+// Submit begins servicing a job of the given demand (service units).
+// onDone fires when the job completes. Zero- or negative-demand jobs
+// complete immediately (via a zero-delay event, preserving causality).
+func (r *PSResource) Submit(demand float64, onDone func()) *PSJob {
+	job := &PSJob{
+		res:       r,
+		remaining: demand,
+		demand:    demand,
+		start:     r.eng.Now(),
+		seq:       r.jobSeq,
+		onDone:    onDone,
+		active:    true,
+	}
+	r.jobSeq++
+	if demand <= 0 {
+		job.remaining = 0
+		r.eng.Schedule(0, func() { r.finish(job) })
+		return job
+	}
+	r.advance()
+	r.jobs[job] = struct{}{}
+	r.reschedule()
+	return job
+}
+
+// Abort removes a job from service without running its completion
+// callback. Aborting an inactive job is a no-op.
+func (r *PSResource) Abort(job *PSJob) {
+	if job == nil || !job.active {
+		return
+	}
+	r.advance()
+	job.active = false
+	delete(r.jobs, job)
+	r.reschedule()
+}
+
+// Sync advances internal progress accounting to the current virtual time
+// without changing the job set. Useful before inspecting Remaining.
+func (r *PSResource) Sync() {
+	r.advance()
+	r.reschedule()
+}
+
+// advance applies service progress accumulated since lastUpdate to all
+// active jobs.
+func (r *PSResource) advance() {
+	now := r.eng.Now()
+	dt := now - r.lastUpdate
+	r.lastUpdate = now
+	n := len(r.jobs)
+	if dt <= 0 || n == 0 {
+		return
+	}
+	perJob := r.capacity(n) * r.disturbance / float64(n)
+	done := dt * perJob
+	for j := range r.jobs {
+		dec := done
+		if j.remaining < dec {
+			// Completion events are scheduled at the earliest finish, so
+			// underflow here is numerical noise only; charge actual work.
+			dec = j.remaining
+		}
+		j.remaining -= dec
+		r.servedUnits += dec
+	}
+	r.busyTime += dt
+}
+
+// reschedule recomputes the next completion event.
+func (r *PSResource) reschedule() {
+	r.eng.Cancel(r.nextDone)
+	r.nextDone = nil
+	n := len(r.jobs)
+	if n == 0 {
+		return
+	}
+	perJob := r.capacity(n) * r.disturbance / float64(n)
+	if perJob <= 0 {
+		panic(fmt.Sprintf("sim: resource %q has non-positive rate at n=%d", r.name, n))
+	}
+	minRemaining := math.Inf(1)
+	for j := range r.jobs {
+		if j.remaining < minRemaining {
+			minRemaining = j.remaining
+		}
+	}
+	delay := minRemaining / perJob
+	r.nextDone = r.eng.Schedule(delay, r.completeDue)
+}
+
+// completeDue finishes every job whose remaining service has reached
+// (numerically, nearly reached) zero.
+func (r *PSResource) completeDue() {
+	r.nextDone = nil
+	r.advance()
+	var due []*PSJob
+	var minJob *PSJob
+	for j := range r.jobs {
+		if j.remaining <= dueEpsilon(j.demand) {
+			due = append(due, j)
+		}
+		if minJob == nil || j.remaining < minJob.remaining ||
+			(j.remaining == minJob.remaining && j.seq < minJob.seq) {
+			minJob = j
+		}
+	}
+	// Guard against float stagnation: this event was scheduled because
+	// some job was predicted to finish now. If rounding left a sliver of
+	// remaining work too small to advance virtual time, force-complete
+	// the closest job rather than re-arming a zero-delay event forever.
+	if len(due) == 0 && minJob != nil {
+		n := len(r.jobs)
+		perJob := r.capacity(n) * r.disturbance / float64(n)
+		if t := r.eng.Now(); t+minJob.remaining/perJob == t {
+			due = append(due, minJob)
+		}
+	}
+	// Deterministic completion order: by start time, then demand.
+	sortJobs(due)
+	for _, j := range due {
+		delete(r.jobs, j)
+		r.servedUnits += j.remaining // epsilon remainder
+		j.remaining = 0
+	}
+	r.reschedule()
+	for _, j := range due {
+		r.finish(j)
+	}
+}
+
+// dueEpsilon is the completion slop for a job: absolute 1e-9 units plus
+// one part in 1e12 of the demand, so giant (multi-GB) demands are not
+// held hostage to float rounding.
+func dueEpsilon(demand float64) float64 {
+	return 1e-9 + demand*1e-12
+}
+
+func (r *PSResource) finish(job *PSJob) {
+	if !job.active {
+		return
+	}
+	job.active = false
+	r.completed++
+	if job.onDone != nil {
+		job.onDone()
+	}
+}
+
+// sortJobs orders jobs deterministically by submission sequence so that
+// completion callbacks fire in a reproducible order even when several
+// jobs finish in the same instant.
+func sortJobs(js []*PSJob) {
+	for i := 1; i < len(js); i++ {
+		for k := i; k > 0 && js[k].seq < js[k-1].seq; k-- {
+			js[k], js[k-1] = js[k-1], js[k]
+		}
+	}
+}

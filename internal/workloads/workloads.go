@@ -1,0 +1,197 @@
+// Package workloads defines the benchmark applications the paper
+// evaluates with: TeraGen, TeraSort, TeraValidate, WordCount, and the
+// SWIM-style Facebook2009 job mix. Each constructor returns a
+// mapreduce.JobSpec whose data volumes and compute intensities are
+// modeled after the published I/O profiles (Figure 2) and descriptions:
+//
+//   - TeraGen: write-only data generator, nearly no computation —
+//     "highly I/O-intensive".
+//   - TeraSort: intensive HDFS reads and local spills in the map phase,
+//     intensive HDFS writes in the reduce phase; intermediate volume
+//     equals the input.
+//   - WordCount: compute-heavy maps, output much smaller than input,
+//     but "plenty of intermediate writes throughout".
+//   - TeraValidate: read-mostly scan with negligible output.
+//
+// Callers set scheduling policy fields (Weight, CPUQuota, CPUWeight) on
+// the returned specs.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ibis/internal/mapreduce"
+)
+
+// TeraGenSpec builds the TeraGen generator writing totalBytes to the
+// DFS across numMaps map-only tasks.
+func TeraGenSpec(totalBytes float64, numMaps int) mapreduce.JobSpec {
+	if numMaps <= 0 {
+		numMaps = 96
+	}
+	return mapreduce.JobSpec{
+		Name:              "teragen",
+		Weight:            1,
+		NumMaps:           numMaps,
+		DirectOutputBytes: totalBytes,
+		MapCPUSecPerMB:    0.0015,
+	}
+}
+
+// TeraSortSpec builds a TeraSort over inputBytes: shuffle and output
+// volumes both equal the input.
+func TeraSortSpec(inputBytes float64, numReduces int) mapreduce.JobSpec {
+	if numReduces <= 0 {
+		numReduces = 24
+	}
+	return mapreduce.JobSpec{
+		Name:              "terasort",
+		Weight:            1,
+		InputBytes:        inputBytes,
+		MapOutputBytes:    inputBytes,
+		NumReduces:        numReduces,
+		OutputBytes:       inputBytes,
+		MapCPUSecPerMB:    0.010,
+		ReduceCPUSecPerMB: 0.012,
+	}
+}
+
+// WordCountSpec builds a WordCount over inputBytes: combiner-compressed
+// intermediate data (≈25% of input), tiny final output, compute-heavy
+// map function.
+func WordCountSpec(inputBytes float64, numReduces int) mapreduce.JobSpec {
+	if numReduces <= 0 {
+		numReduces = 12
+	}
+	return mapreduce.JobSpec{
+		Name:              "wordcount",
+		Weight:            1,
+		InputBytes:        inputBytes,
+		MapOutputBytes:    0.25 * inputBytes,
+		NumReduces:        numReduces,
+		OutputBytes:       0.05 * inputBytes,
+		MapCPUSecPerMB:    0.150,
+		ReduceCPUSecPerMB: 0.020,
+	}
+}
+
+// TeraValidateSpec builds the TeraValidate scan over inputBytes:
+// read-dominated, negligible intermediate and output volumes.
+func TeraValidateSpec(inputBytes float64) mapreduce.JobSpec {
+	return mapreduce.JobSpec{
+		Name:              "teravalidate",
+		Weight:            1,
+		InputBytes:        inputBytes,
+		MapOutputBytes:    0.0005 * inputBytes,
+		NumReduces:        1,
+		OutputBytes:       0.0001 * inputBytes,
+		MapCPUSecPerMB:    0.004,
+		ReduceCPUSecPerMB: 0.004,
+	}
+}
+
+// FacebookConfig parameterizes the SWIM-style Facebook2009 sampler.
+type FacebookConfig struct {
+	// Jobs is the number of sampled jobs (the paper runs 50).
+	Jobs int
+	// Seed drives the deterministic sampler.
+	Seed int64
+	// ScaleBytes scales all sampled data volumes (down-scaling "to fit
+	// the size of this paper's testbed", and further for simulation).
+	ScaleBytes float64
+	// MeanInterarrival is the mean Poisson gap between submissions in
+	// seconds.
+	MeanInterarrival float64
+	// Weight and CPU policy applied to every sampled job.
+	Weight    float64
+	CPUWeight float64
+	CPUQuota  int
+}
+
+func (c *FacebookConfig) defaults() {
+	if c.Jobs <= 0 {
+		c.Jobs = 50
+	}
+	if c.ScaleBytes <= 0 {
+		c.ScaleBytes = 1
+	}
+	if c.MeanInterarrival <= 0 {
+		c.MeanInterarrival = 6
+	}
+	if c.Weight <= 0 {
+		c.Weight = 1
+	}
+	if c.CPUWeight <= 0 {
+		c.CPUWeight = 1
+	}
+}
+
+// FacebookJob is one sampled job plus its arrival offset.
+type FacebookJob struct {
+	Spec    mapreduce.JobSpec
+	Arrival float64
+}
+
+// FacebookWorkload samples the Facebook2009 mix following the SWIM
+// statistics the paper quotes: the input-to-shuffle ratio varies over
+// 0.05–10³ and the shuffle-to-output ratio over 2⁻⁵–10²; job input
+// sizes are heavy-tailed with mostly small jobs; arrivals are Poisson.
+func FacebookWorkload(cfg FacebookConfig) []FacebookJob {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jobs := make([]FacebookJob, 0, cfg.Jobs)
+	arrival := 0.0
+	for i := 0; i < cfg.Jobs; i++ {
+		// Heavy-tailed input size: lognormal, median ≈ 1.5 GB, long
+		// tail to tens of GB.
+		input := 1.5e9 * math.Exp(rng.NormFloat64()*1.1) * cfg.ScaleBytes
+		if input < 64e6*cfg.ScaleBytes {
+			input = 64e6 * cfg.ScaleBytes
+		}
+		// input/shuffle ∈ [0.05, 1000] log-uniform ⇒ shuffle = input/r.
+		r1 := logUniform(rng, 0.05, 1000)
+		shuffle := input / r1
+		// Cap shuffle at a multiple of input to keep small jobs small
+		// (SWIM samples are dominated by small jobs).
+		if shuffle > 4*input {
+			shuffle = 4 * input
+		}
+		// shuffle/output ∈ [2⁻⁵, 100] log-uniform ⇒ output = shuffle/r.
+		r2 := logUniform(rng, math.Pow(2, -5), 100)
+		output := shuffle / r2
+		if output > 4*input {
+			output = 4 * input
+		}
+		reduces := 1 + int(shuffle/(512e6*cfg.ScaleBytes))
+		if reduces > 8 {
+			reduces = 8
+		}
+		spec := mapreduce.JobSpec{
+			Name:              fmt.Sprintf("fb%02d", i),
+			Weight:            cfg.Weight,
+			CPUWeight:         cfg.CPUWeight,
+			CPUQuota:          cfg.CPUQuota,
+			InputBytes:        input,
+			MapOutputBytes:    shuffle,
+			NumReduces:        reduces,
+			OutputBytes:       output,
+			MapCPUSecPerMB:    0.010 + rng.Float64()*0.060,
+			ReduceCPUSecPerMB: 0.010 + rng.Float64()*0.040,
+		}
+		if shuffle <= 0 {
+			spec.NumReduces = 0
+			spec.MapOutputBytes = 0
+			spec.OutputBytes = 0
+		}
+		jobs = append(jobs, FacebookJob{Spec: spec, Arrival: arrival})
+		arrival += rng.ExpFloat64() * cfg.MeanInterarrival
+	}
+	return jobs
+}
+
+// logUniform samples log-uniformly from [lo, hi].
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo * math.Exp(rng.Float64()*math.Log(hi/lo))
+}

@@ -1,0 +1,171 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"ibis/internal/cluster"
+	"ibis/internal/dfs"
+	"ibis/internal/mapreduce"
+	"ibis/internal/sim"
+)
+
+func TestTeraGenShape(t *testing.T) {
+	s := TeraGenSpec(1e12, 0)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.InputBytes != 0 || s.NumReduces != 0 {
+		t.Fatal("TeraGen must be a map-only generator")
+	}
+	if s.DirectOutputBytes != 1e12 {
+		t.Fatalf("output = %v", s.DirectOutputBytes)
+	}
+	if s.NumMaps != 96 {
+		t.Fatalf("default maps = %d", s.NumMaps)
+	}
+	if s.MapCPUSecPerMB > 0.01 {
+		t.Fatal("TeraGen should be nearly compute-free")
+	}
+}
+
+func TestTeraSortShape(t *testing.T) {
+	s := TeraSortSpec(50e9, 0)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MapOutputBytes != s.InputBytes || s.OutputBytes != s.InputBytes {
+		t.Fatal("TeraSort shuffles and outputs its full input")
+	}
+}
+
+func TestWordCountShape(t *testing.T) {
+	s := WordCountSpec(50e9, 0)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.OutputBytes >= 0.2*s.InputBytes {
+		t.Fatal("WordCount output should be much smaller than input")
+	}
+	if s.MapOutputBytes <= s.OutputBytes {
+		t.Fatal("WordCount still writes plenty of intermediate data")
+	}
+	ts := TeraSortSpec(50e9, 0)
+	if s.MapCPUSecPerMB <= ts.MapCPUSecPerMB*5 {
+		t.Fatal("WordCount should be far more compute-intensive than TeraSort")
+	}
+}
+
+func TestTeraValidateShape(t *testing.T) {
+	s := TeraValidateSpec(100e9)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MapOutputBytes > 0.01*s.InputBytes || s.OutputBytes > 0.01*s.InputBytes {
+		t.Fatal("TeraValidate is a read-mostly scan")
+	}
+}
+
+func TestFacebookWorkloadStatistics(t *testing.T) {
+	jobs := FacebookWorkload(FacebookConfig{Seed: 42})
+	if len(jobs) != 50 {
+		t.Fatalf("jobs = %d, want 50", len(jobs))
+	}
+	prevArrival := -1.0
+	small := 0
+	for i, j := range jobs {
+		if err := j.Spec.Validate(); err != nil {
+			t.Fatalf("job %d invalid: %v", i, err)
+		}
+		if j.Arrival < prevArrival {
+			t.Fatal("arrivals not nondecreasing")
+		}
+		prevArrival = j.Arrival
+		if j.Spec.InputBytes < 10e9 {
+			small++
+		}
+	}
+	// "including both small and large jobs" — dominated by small ones.
+	if small < 30 {
+		t.Fatalf("only %d/50 jobs below 10 GB; SWIM mixes skew small", small)
+	}
+}
+
+func TestFacebookDeterministic(t *testing.T) {
+	a := FacebookWorkload(FacebookConfig{Seed: 7})
+	b := FacebookWorkload(FacebookConfig{Seed: 7})
+	for i := range a {
+		if a[i].Spec.InputBytes != b[i].Spec.InputBytes || a[i].Arrival != b[i].Arrival {
+			t.Fatal("sampler not deterministic")
+		}
+	}
+	c := FacebookWorkload(FacebookConfig{Seed: 8})
+	same := true
+	for i := range a {
+		if a[i].Spec.InputBytes != c[i].Spec.InputBytes {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestFacebookScale(t *testing.T) {
+	full := FacebookWorkload(FacebookConfig{Seed: 1, ScaleBytes: 1})
+	scaled := FacebookWorkload(FacebookConfig{Seed: 1, ScaleBytes: 0.125})
+	for i := range full {
+		want := full[i].Spec.InputBytes * 0.125
+		if math.Abs(scaled[i].Spec.InputBytes-want)/want > 1e-9 {
+			t.Fatalf("job %d: scaled input %v, want %v", i, scaled[i].Spec.InputBytes, want)
+		}
+	}
+}
+
+func TestFacebookRatioRanges(t *testing.T) {
+	jobs := FacebookWorkload(FacebookConfig{Seed: 3, Jobs: 200})
+	for i, j := range jobs {
+		s := j.Spec
+		if s.MapOutputBytes == 0 {
+			continue
+		}
+		ratio := s.InputBytes / s.MapOutputBytes
+		// After the small-job cap, input/shuffle must stay within
+		// [0.05/4-ish, 1000].
+		if ratio < 0.24 || ratio > 1001 {
+			t.Fatalf("job %d input/shuffle ratio %v outside range", i, ratio)
+		}
+	}
+}
+
+// End-to-end: the classic workloads all run to completion on a small
+// cluster.
+func TestWorkloadsRunEndToEnd(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, err := cluster.New(eng, cluster.Config{Nodes: 4, CoresPerNode: 4, Policy: cluster.Native})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := dfs.NewNamenode(dfs.Config{Nodes: 4, BlockSize: 32e6, Seed: 2})
+	rt := mapreduce.NewRuntime(eng, cl, nn, mapreduce.Config{ChunkBytes: 4e6})
+	specs := []mapreduce.JobSpec{
+		TeraGenSpec(256e6, 8),
+		TeraSortSpec(128e6, 4),
+		WordCountSpec(128e6, 2),
+		TeraValidateSpec(128e6),
+	}
+	var jobs []*mapreduce.Job
+	for i, s := range specs {
+		j, err := rt.Submit(s, float64(i))
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		jobs = append(jobs, j)
+	}
+	eng.Run()
+	for _, j := range jobs {
+		if !j.Done() {
+			t.Fatalf("%s did not finish", j.Spec.Name)
+		}
+	}
+}
