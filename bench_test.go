@@ -12,6 +12,7 @@ package ibis_test
 
 import (
 	"testing"
+	"time"
 
 	"ibis/internal/experiments"
 )
@@ -30,6 +31,32 @@ func BenchmarkFig02_IOProfiles(b *testing.B) {
 		peakWC, _ := maxOf(res.WordCountWrite)
 		b.ReportMetric(peakTS, "terasort-peak-write-MB/s")
 		b.ReportMetric(peakWC, "wordcount-peak-write-MB/s")
+	}
+}
+
+// BenchmarkFig02_TracingOverhead times the Figure 2 TeraSort profile
+// with request tracing off (no probes installed) and on (64Ki-record
+// ring), reporting the enabled-path cost as a percentage. The
+// disabled path is the guarded configuration: it must stay within
+// noise of the untraced baseline.
+func BenchmarkFig02_TracingOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := experiments.Fig02Bench(benchScale, 0); err != nil {
+			b.Fatal(err)
+		}
+		off := time.Since(t0)
+
+		t1 := time.Now()
+		res, err := experiments.Fig02Bench(benchScale, 1<<16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		on := time.Since(t1)
+		if res.Trace == nil || res.Trace.Total() == 0 {
+			b.Fatal("tracing-enabled run recorded nothing")
+		}
+		b.ReportMetric(float64(on-off)/float64(off)*100, "trace-overhead-%")
 	}
 }
 

@@ -10,6 +10,14 @@
 //	ibis-trace [-scale 0.125] [-out .] [fig2|fig7|fig9 ...]
 //
 // With no figure arguments, all three are produced.
+//
+// The `trace` subcommand instead runs a contention scenario with
+// request-level lifecycle tracing and invariant auditing enabled, and
+// dumps the trace as JSONL, a Chrome trace-event file (load it in
+// chrome://tracing or Perfetto), or a per-app summary table:
+//
+//	ibis-trace trace [-policy sfqd2] [-coordinate] [-ssd] [-seed 1]
+//	                 [-cap 65536] [-format jsonl|chrome|summary] [-o FILE]
 package main
 
 import (
@@ -25,6 +33,12 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTraceCmd(os.Args[2:]); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		return
+	}
 	scale := flag.Float64("scale", experiments.DefaultScale, "data scale factor")
 	out := flag.String("out", ".", "output directory for CSV files")
 	flag.Parse()

@@ -37,6 +37,7 @@ package ibis
 import (
 	"fmt"
 
+	"ibis/internal/audit"
 	"ibis/internal/cluster"
 	"ibis/internal/dfs"
 	"ibis/internal/hive"
@@ -44,6 +45,7 @@ import (
 	"ibis/internal/mapreduce"
 	"ibis/internal/sim"
 	"ibis/internal/storage"
+	"ibis/internal/trace"
 	"ibis/internal/workloads"
 )
 
@@ -140,7 +142,32 @@ type Config struct {
 	Replication int
 	// Seed drives all randomness (placement, workload sampling).
 	Seed int64
+
+	// TraceCapacity, when positive, enables request-level lifecycle
+	// tracing into a ring buffer of that many records (use
+	// trace.DefaultCapacity for a sensible size). The trace is
+	// retrievable via Simulation.Trace.
+	TraceCapacity int
+	// Audit enables online invariant auditing of every scheduler (and
+	// the broker, when coordinating); results via Simulation.Audit.
+	Audit bool
+	// AuditWindow overrides the proportional-share audit period in
+	// virtual seconds (0 = default 5 s).
+	AuditWindow float64
 }
+
+// Tracer is the request-level lifecycle trace buffer; see
+// internal/trace.
+type Tracer = trace.Tracer
+
+// TraceRecord is one traced lifecycle event.
+type TraceRecord = trace.Record
+
+// Auditor is the online invariant checker; see internal/audit.
+type Auditor = audit.Auditor
+
+// AuditViolation is one observed invariant breach.
+type AuditViolation = audit.Violation
 
 // Simulation is an assembled cluster plus execution engine.
 type Simulation struct {
@@ -148,6 +175,8 @@ type Simulation struct {
 	cl  *cluster.Cluster
 	nn  *dfs.Namenode
 	rt  *mapreduce.Runtime
+	tr  *trace.Tracer
+	au  *audit.Auditor
 }
 
 // New assembles a simulation.
@@ -182,7 +211,32 @@ func New(cfg Config) (*Simulation, error) {
 		Seed:        cfg.Seed,
 	})
 	rt := mapreduce.NewRuntime(eng, cl, nn, mapreduce.Config{})
-	return &Simulation{eng: eng, cl: cl, nn: nn, rt: rt}, nil
+	s := &Simulation{eng: eng, cl: cl, nn: nn, rt: rt}
+	if cfg.TraceCapacity > 0 {
+		s.tr = trace.New(cfg.TraceCapacity)
+	}
+	if cfg.Audit {
+		s.au = audit.New(audit.Options{
+			Window:             cfg.AuditWindow,
+			CoordinationPeriod: cfg.CoordinationPeriod,
+		})
+		if cl.Broker != nil {
+			s.au.AttachBroker(cl.Broker)
+		}
+	}
+	if s.tr != nil || s.au != nil {
+		cl.Instrument(func(node int, dev string, sched iosched.Scheduler) iosched.Probe {
+			var ps []iosched.Probe
+			if s.tr != nil {
+				ps = append(ps, s.tr.Probe(node, trace.DeviceKindOf(dev)))
+			}
+			if s.au != nil {
+				ps = append(ps, s.au.Probe(node, dev, sched))
+			}
+			return iosched.MultiProbe(ps...)
+		})
+	}
+	return s, nil
 }
 
 // Submit schedules a job after delay seconds of virtual time.
@@ -216,11 +270,33 @@ func (s *Simulation) FailNode(idx int) { s.rt.FailNode(idx) }
 func (s *Simulation) Schedule(delay float64, fn func()) { s.eng.Schedule(delay, fn) }
 
 // Run executes until all submitted work completes and returns the
-// final virtual time in seconds.
-func (s *Simulation) Run() float64 { return s.eng.Run() }
+// final virtual time in seconds. If auditing is enabled the open audit
+// windows are closed at the end of the run.
+func (s *Simulation) Run() float64 {
+	t := s.eng.Run()
+	if s.au != nil {
+		s.au.Finish()
+	}
+	return t
+}
 
-// RunUntil executes events up to the virtual-time limit.
-func (s *Simulation) RunUntil(limit float64) float64 { return s.eng.RunUntil(limit) }
+// RunUntil executes events up to the virtual-time limit. If auditing
+// is enabled the open audit windows are closed at the limit.
+func (s *Simulation) RunUntil(limit float64) float64 {
+	t := s.eng.RunUntil(limit)
+	if s.au != nil {
+		s.au.Finish()
+	}
+	return t
+}
+
+// Trace returns the lifecycle tracer, or nil when Config.TraceCapacity
+// was zero.
+func (s *Simulation) Trace() *Tracer { return s.tr }
+
+// Audit returns the invariant auditor, or nil when Config.Audit was
+// false.
+func (s *Simulation) Audit() *Auditor { return s.au }
 
 // Now returns the current virtual time.
 func (s *Simulation) Now() float64 { return s.eng.Now() }

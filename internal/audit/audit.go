@@ -1,0 +1,666 @@
+// Package audit provides online invariant checking for the IBIS
+// schedulers: a set of machine-checked properties derived from the
+// paper's correctness claims, evaluated continuously against the live
+// request stream via the iosched lifecycle probes.
+//
+// Invariants checked (names as reported by Checks and Violation):
+//
+//   - lifecycle: queue/in-flight counters never go negative, latencies
+//     are non-negative (all policies);
+//   - start-tag-monotonicity: per flow, SFQ start tags never decrease;
+//   - tag-consistency: F(r) = S(r) + cost/weight and S(r) ≥ v(arrival)
+//     per the SFQ tagging rules;
+//   - vtime-monotonicity: the scheduler's virtual time (the start tag
+//     of the most recently dispatched request) never decreases;
+//   - depth-bound: at dispatch, outstanding requests never exceed the
+//     dispatch depth D in force;
+//   - work-conservation: when a completion leaves the queue non-empty,
+//     the dispatch window is full (inflight ≥ D) — the device never
+//     idles against a backlog;
+//   - proportional-share: per audit window, any two continuously
+//     backlogged flows' normalized service (cost/weight) differs by at
+//     most the SFQ(D) fairness bound (D+1)(c_f/w_f + c_g/w_g), within
+//     slack (local check; skipped under DSFQ coordination, which
+//     intentionally skews local shares);
+//   - total-proportional-share: the cluster-wide analog under
+//     coordination, comparing flows continuously backlogged on the
+//     same set of schedulers;
+//   - broker-conservation: the sum of the schedulers' reported local
+//     service vectors equals the broker's global totals, checked at
+//     every exchange.
+//
+// The auditor is wired through cluster.Instrument (or directly via
+// Probe) and accumulates Violations; a clean run reports none. Checks
+// exposes per-invariant evaluation counts so tests can assert an
+// invariant was actually exercised rather than vacuously skipped.
+package audit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ibis/internal/broker"
+	"ibis/internal/iosched"
+	"ibis/internal/storage"
+)
+
+// Options tune the auditor.
+type Options struct {
+	// Window is the proportional-share audit period in virtual seconds
+	// (default 5).
+	Window float64
+	// ShareSlack is the relative slack multiplied onto the theoretical
+	// fairness bound to absorb device-model noise and window-boundary
+	// effects (default 0.5, i.e. bound × 1.5).
+	ShareSlack float64
+	// MinWindowRequests is the minimum completions a flow needs inside
+	// a window before it participates in share checks (default 4).
+	MinWindowRequests int
+	// BacklogSlack is the fraction of a window a flow's queue may be
+	// empty while still counting as continuously backlogged for the
+	// share checks (default 0.02). The fairness bound only applies to
+	// backlogged flows; a small tolerance keeps closed-loop workloads
+	// with instantaneous resubmission gaps eligible.
+	BacklogSlack float64
+	// CoordinationPeriod is the broker exchange period in seconds,
+	// used to size the staleness allowance of the cluster-level share
+	// check (default 1, matching the paper's heartbeat piggyback).
+	CoordinationPeriod float64
+	// MaxViolations caps stored violations; excess ones are counted
+	// but dropped (default 256).
+	MaxViolations int
+}
+
+func (o *Options) defaults() {
+	if o.Window <= 0 {
+		o.Window = 5
+	}
+	if o.ShareSlack <= 0 {
+		o.ShareSlack = 0.5
+	}
+	if o.MinWindowRequests <= 0 {
+		o.MinWindowRequests = 4
+	}
+	if o.BacklogSlack <= 0 {
+		o.BacklogSlack = 0.02
+	}
+	if o.CoordinationPeriod <= 0 {
+		o.CoordinationPeriod = 1
+	}
+	if o.MaxViolations <= 0 {
+		o.MaxViolations = 256
+	}
+}
+
+// Violation is one observed invariant breach.
+type Violation struct {
+	// Time is the virtual time of the violating event (for window
+	// checks, the window end).
+	Time float64
+	// Invariant names the breached property (see package comment).
+	Invariant string
+	// Node and Dev locate the scheduler (-1/"" for cluster-level and
+	// broker checks).
+	Node int
+	Dev  string
+	// App is the implicated application, when one is identifiable.
+	App iosched.AppID
+	// Detail is a human-readable description with the numbers.
+	Detail string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	where := "cluster"
+	if v.Node >= 0 {
+		where = fmt.Sprintf("node%d/%s", v.Node, v.Dev)
+	}
+	return fmt.Sprintf("t=%.3fs %s [%s] app=%s: %s", v.Time, v.Invariant, where, v.App, v.Detail)
+}
+
+// Auditor evaluates scheduler invariants online. It is not safe for
+// concurrent use; the simulation is single-threaded by construction.
+type Auditor struct {
+	opts       Options
+	scheds     []*schedState
+	cluster    *clusterState
+	brokers    []*broker.Broker
+	violations []Violation
+	dropped    uint64
+	checks     map[string]uint64
+	lastTime   float64
+}
+
+// New creates an auditor.
+func New(opts Options) *Auditor {
+	opts.defaults()
+	return &Auditor{opts: opts, checks: make(map[string]uint64)}
+}
+
+// Probe returns the lifecycle probe auditing one scheduler, labeled
+// with its node index and device name. SFQ schedulers get the full
+// invariant set; other policies get lifecycle sanity checks only.
+func (a *Auditor) Probe(node int, dev string, sched iosched.Scheduler) iosched.Probe {
+	s := &schedState{
+		a:     a,
+		node:  node,
+		dev:   dev,
+		id:    len(a.scheds),
+		flows: make(map[iosched.AppID]*flowAudit),
+	}
+	if sfq, ok := sched.(*iosched.SFQ); ok {
+		s.sfq = true
+		s.coordinated = sfq.Coordinated()
+	} else if rb, ok := sched.(readSFQBacked); ok {
+		// cgroups Weight: reads pass through an inner SFQ, writes are
+		// uncontrolled pass-through — audit the controlled half only.
+		s.sfq = true
+		s.readsOnly = true
+		s.coordinated = rb.ReadSFQ().Coordinated()
+	}
+	if s.coordinated {
+		if a.cluster == nil {
+			a.cluster = &clusterState{a: a, flows: make(map[iosched.AppID]*clusterFlow)}
+		}
+		a.cluster.members++
+	}
+	a.scheds = append(a.scheds, s)
+	return s
+}
+
+// AttachBroker audits service conservation on every exchange of b.
+func (a *Auditor) AttachBroker(b *broker.Broker) {
+	a.brokers = append(a.brokers, b)
+	b.SetProbe(func(string, *broker.Broker) { a.checkBroker(b) })
+}
+
+// Finish closes the open audit windows and re-checks broker
+// conservation. Call it once the simulation has drained; it is safe to
+// call more than once.
+func (a *Auditor) Finish() {
+	for _, s := range a.scheds {
+		s.roll(a.lastTime)
+		s.closeWindow()
+	}
+	if a.cluster != nil {
+		a.cluster.roll(a.lastTime)
+		a.cluster.closeWindow()
+	}
+	for _, b := range a.brokers {
+		a.checkBroker(b)
+	}
+}
+
+// Violations returns the recorded breaches (up to MaxViolations).
+func (a *Auditor) Violations() []Violation {
+	out := make([]Violation, len(a.violations))
+	copy(out, a.violations)
+	return out
+}
+
+// ViolationCount returns the total number of breaches observed,
+// including ones dropped past the MaxViolations cap.
+func (a *Auditor) ViolationCount() uint64 {
+	return uint64(len(a.violations)) + a.dropped
+}
+
+// Checks returns per-invariant evaluation counts — how many times each
+// property was actually tested.
+func (a *Auditor) Checks() map[string]uint64 {
+	out := make(map[string]uint64, len(a.checks))
+	for k, v := range a.checks {
+		out[k] = v
+	}
+	return out
+}
+
+// Err returns nil for a clean run, else an error summarizing the first
+// violations.
+func (a *Auditor) Err() error {
+	if a.ViolationCount() == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d invariant violation(s)", a.ViolationCount())
+	for i, v := range a.violations {
+		if i >= 5 {
+			fmt.Fprintf(&b, "; ...")
+			break
+		}
+		fmt.Fprintf(&b, "; %s", v.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+func (a *Auditor) count(inv string) { a.checks[inv]++ }
+
+func (a *Auditor) violate(v Violation) {
+	if len(a.violations) >= a.opts.MaxViolations {
+		a.dropped++
+		return
+	}
+	a.violations = append(a.violations, v)
+}
+
+// checkBroker verifies that the per-app sum of the latest local service
+// vectors equals the broker's incrementally maintained totals.
+func (a *Auditor) checkBroker(b *broker.Broker) {
+	a.count("broker-conservation")
+	sums := b.ReportedTotals()
+	for _, app := range b.Apps() {
+		total := b.Total(app)
+		if diff := math.Abs(sums[app] - total); diff > 1e-6*math.Max(1, math.Abs(total)) {
+			a.violate(Violation{
+				Time: a.lastTime, Invariant: "broker-conservation", Node: -1, App: app,
+				Detail: fmt.Sprintf("sum of reports %.6g != broker total %.6g (diff %.3g)", sums[app], total, diff),
+			})
+		}
+	}
+}
+
+// flowAudit is one application's per-scheduler audit state.
+type flowAudit struct {
+	lastStart float64 // last start tag seen at arrival
+	waiting   int     // arrived but not yet dispatched (queued)
+	// Backlog tracking is time-weighted: zeroDur accumulates virtual
+	// time the flow's queue spent empty this window. The SFQ fairness
+	// bound applies to flows whose queue is continuously non-empty —
+	// requests merely in flight are demand, not backlog — so the
+	// share checks only compare flows that kept requests waiting.
+	zeroSince float64 // when the queue last emptied (-1 while waiting > 0)
+	zeroDur   float64 // empty-queue time accumulated this window
+	// Window accumulators.
+	service  float64
+	requests int
+	weight   float64
+	maxUnit  float64 // running max cost/weight (the bound's c_f/w_f)
+}
+
+// schedState audits one scheduler.
+// readSFQBacked is satisfied by schedulers that wrap an SFQ queue for
+// reads while passing writes through uncontrolled (cgroups Weight).
+type readSFQBacked interface {
+	ReadSFQ() *iosched.SFQ
+}
+
+type schedState struct {
+	a           *Auditor
+	node        int
+	dev         string
+	id          int
+	sfq         bool
+	readsOnly   bool // SFQ invariants apply to read-class requests only
+	coordinated bool
+
+	lastVTime   float64
+	lastDepth   int
+	windowStart float64
+	maxDepth    int // max depth seen this window
+	flows       map[iosched.AppID]*flowAudit
+}
+
+func (s *schedState) flow(app iosched.AppID) *flowAudit {
+	f := s.flows[app]
+	if f == nil {
+		// A new flow counts as empty since the window opened.
+		f = &flowAudit{zeroSince: s.windowStart}
+		s.flows[app] = f
+	}
+	return f
+}
+
+// tagEps is the float-comparison slack for tag arithmetic.
+func tagEps(x, y float64) float64 { return 1e-9 * (math.Abs(x) + math.Abs(y) + 1) }
+
+// Observe implements iosched.Probe.
+func (s *schedState) Observe(req *iosched.Request, st iosched.ProbeState) {
+	a := s.a
+	if st.Time > a.lastTime {
+		a.lastTime = st.Time
+	}
+	a.count("lifecycle")
+	if st.Queued < 0 || st.InFlight < 0 {
+		a.violate(Violation{Time: st.Time, Invariant: "lifecycle", Node: s.node, Dev: s.dev, App: req.App,
+			Detail: fmt.Sprintf("negative counters: queued=%d inflight=%d", st.Queued, st.InFlight)})
+	}
+	if st.Event == iosched.ProbeComplete && st.Latency < 0 {
+		a.violate(Violation{Time: st.Time, Invariant: "lifecycle", Node: s.node, Dev: s.dev, App: req.App,
+			Detail: fmt.Sprintf("negative latency %g", st.Latency)})
+	}
+
+	s.roll(st.Time)
+	if s.coordinated && a.cluster != nil {
+		a.cluster.roll(st.Time)
+	}
+	if st.Depth > s.maxDepth {
+		s.maxDepth = st.Depth
+	}
+	s.lastDepth = st.Depth
+	if s.readsOnly && req.Class.OpKind() != storage.Read {
+		// Uncontrolled write-back pass-through: lifecycle sanity only.
+		return
+	}
+
+	f := s.flow(req.App)
+	switch st.Event {
+	case iosched.ProbeArrive:
+		if f.waiting == 0 && f.zeroSince >= 0 {
+			if from := math.Max(f.zeroSince, s.windowStart); st.Time > from {
+				f.zeroDur += st.Time - from
+			}
+			f.zeroSince = -1
+		}
+		f.waiting++
+		if s.sfq {
+			a.count("start-tag-monotonicity")
+			if req.StartTag() < f.lastStart-tagEps(req.StartTag(), f.lastStart) {
+				a.violate(Violation{Time: st.Time, Invariant: "start-tag-monotonicity", Node: s.node, Dev: s.dev, App: req.App,
+					Detail: fmt.Sprintf("start tag %.9g < previous %.9g", req.StartTag(), f.lastStart)})
+			}
+			f.lastStart = req.StartTag()
+			a.count("tag-consistency")
+			want := req.StartTag() + req.Cost()/req.Weight
+			if math.Abs(req.FinishTag()-want) > tagEps(req.FinishTag(), want) {
+				a.violate(Violation{Time: st.Time, Invariant: "tag-consistency", Node: s.node, Dev: s.dev, App: req.App,
+					Detail: fmt.Sprintf("finish tag %.9g != start %.9g + cost/w %.9g", req.FinishTag(), req.StartTag(), req.Cost()/req.Weight)})
+			}
+			if req.StartTag() < st.VTime-tagEps(req.StartTag(), st.VTime) {
+				a.violate(Violation{Time: st.Time, Invariant: "tag-consistency", Node: s.node, Dev: s.dev, App: req.App,
+					Detail: fmt.Sprintf("start tag %.9g below virtual time %.9g at arrival", req.StartTag(), st.VTime)})
+			}
+		}
+		if s.coordinated && a.cluster != nil {
+			a.cluster.arrive(req.App, s.id, st.Time)
+		}
+	case iosched.ProbeDispatch:
+		f.waiting--
+		if f.waiting <= 0 {
+			f.waiting = 0
+			f.zeroSince = st.Time
+		}
+		if s.coordinated && a.cluster != nil {
+			a.cluster.dispatch(req.App, s.id, st.Time)
+		}
+		if s.sfq {
+			a.count("vtime-monotonicity")
+			if st.VTime < s.lastVTime-tagEps(st.VTime, s.lastVTime) {
+				a.violate(Violation{Time: st.Time, Invariant: "vtime-monotonicity", Node: s.node, Dev: s.dev, App: req.App,
+					Detail: fmt.Sprintf("virtual time %.9g < previous %.9g", st.VTime, s.lastVTime)})
+			}
+			s.lastVTime = st.VTime
+			if st.Depth > 0 {
+				a.count("depth-bound")
+				if st.InFlight > st.Depth {
+					a.violate(Violation{Time: st.Time, Invariant: "depth-bound", Node: s.node, Dev: s.dev, App: req.App,
+						Detail: fmt.Sprintf("dispatched with %d in flight > depth %d", st.InFlight, st.Depth)})
+				}
+			}
+		}
+	case iosched.ProbeComplete:
+		if s.sfq && st.Depth > 0 {
+			a.count("work-conservation")
+			if st.Queued > 0 && st.InFlight < st.Depth {
+				a.violate(Violation{Time: st.Time, Invariant: "work-conservation", Node: s.node, Dev: s.dev, App: req.App,
+					Detail: fmt.Sprintf("queue has %d waiting but only %d of %d slots in flight", st.Queued, st.InFlight, st.Depth)})
+			}
+		}
+		f.service += req.Cost()
+		f.requests++
+		f.weight = req.Weight
+		if u := req.Cost() / req.Weight; u > f.maxUnit {
+			f.maxUnit = u
+		}
+		if s.coordinated && a.cluster != nil {
+			a.cluster.complete(req, s.id, st.Time)
+		}
+	}
+}
+
+// roll closes audit windows up to time t.
+func (s *schedState) roll(t float64) {
+	for w := s.a.opts.Window; t >= s.windowStart+w; s.windowStart += w {
+		s.closeWindow()
+	}
+}
+
+// closeWindow runs the per-window proportional-share check and resets
+// the window accumulators. The local check applies to uncoordinated
+// SFQ schedulers; under DSFQ coordination the delay rule intentionally
+// skews local shares toward total-service fairness, so the cluster
+// state checks the global analog instead.
+func (s *schedState) closeWindow() {
+	w := s.a.opts.Window
+	end := s.windowStart + w
+	// Accrue open empty-queue intervals up to the window end.
+	for _, f := range s.flows {
+		if f.zeroSince >= 0 {
+			if from := math.Max(f.zeroSince, s.windowStart); end > from {
+				f.zeroDur += end - from
+			}
+			f.zeroSince = end
+		}
+	}
+	if s.sfq && !s.coordinated {
+		maxZero := w * s.a.opts.BacklogSlack
+		apps := make([]iosched.AppID, 0, len(s.flows))
+		for app, f := range s.flows {
+			if f.zeroDur <= maxZero && f.requests >= s.a.opts.MinWindowRequests && f.weight > 0 {
+				apps = append(apps, app)
+			}
+		}
+		sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
+		d := s.maxDepth
+		if d < 1 {
+			d = 1
+		}
+		for i := 0; i < len(apps); i++ {
+			for j := i + 1; j < len(apps); j++ {
+				fi, fj := s.flows[apps[i]], s.flows[apps[j]]
+				s.a.count("proportional-share")
+				ri, rj := fi.service/fi.weight, fj.service/fj.weight
+				bound := float64(d+1) * (fi.maxUnit + fj.maxUnit) * (1 + s.a.opts.ShareSlack)
+				if diff := math.Abs(ri - rj); diff > bound {
+					s.a.violate(Violation{
+						Time: s.windowStart + s.a.opts.Window, Invariant: "proportional-share",
+						Node: s.node, Dev: s.dev, App: apps[i],
+						Detail: fmt.Sprintf("window [%.1fs,%.1fs): normalized service %s=%.4g vs %s=%.4g, |diff| %.4g > bound %.4g (D=%d)",
+							s.windowStart, s.windowStart+s.a.opts.Window, apps[i], ri, apps[j], rj, math.Abs(ri-rj), bound, d),
+					})
+				}
+			}
+		}
+	}
+	for _, f := range s.flows {
+		f.service = 0
+		f.requests = 0
+		f.zeroDur = 0
+	}
+	s.maxDepth = s.lastDepth
+}
+
+// clusterFlow is one application's cluster-wide audit state under
+// coordination, tracked per scheduler id.
+type clusterFlow struct {
+	waiting   map[int]int     // scheduler id → queued (undispatched) requests
+	zeroSince map[int]float64 // scheduler id → when queue emptied (-1 while busy)
+	zeroDur   map[int]float64 // scheduler id → empty-queue time this window
+	service   float64
+	requests  int
+	weight    float64
+	maxUnit   float64
+}
+
+// touch ensures per-scheduler backlog state exists, treating a newly
+// seen scheduler as empty since the window opened.
+func (f *clusterFlow) touch(sched int, windowStart float64) {
+	if _, ok := f.zeroSince[sched]; !ok {
+		f.zeroSince[sched] = windowStart
+	}
+}
+
+// clusterState audits total-service proportional sharing across all
+// coordinated schedulers.
+type clusterState struct {
+	a           *Auditor
+	members     int
+	windowStart float64
+	maxDepth    int
+	flows       map[iosched.AppID]*clusterFlow
+}
+
+func (c *clusterState) flow(app iosched.AppID) *clusterFlow {
+	f := c.flows[app]
+	if f == nil {
+		f = &clusterFlow{
+			waiting:   make(map[int]int),
+			zeroSince: make(map[int]float64),
+			zeroDur:   make(map[int]float64),
+		}
+		c.flows[app] = f
+	}
+	return f
+}
+
+func (c *clusterState) arrive(app iosched.AppID, sched int, t float64) {
+	f := c.flow(app)
+	f.touch(sched, c.windowStart)
+	if f.waiting[sched] == 0 && f.zeroSince[sched] >= 0 {
+		if from := math.Max(f.zeroSince[sched], c.windowStart); t > from {
+			f.zeroDur[sched] += t - from
+		}
+		f.zeroSince[sched] = -1
+	}
+	f.waiting[sched]++
+}
+
+func (c *clusterState) dispatch(app iosched.AppID, sched int, t float64) {
+	f := c.flow(app)
+	f.touch(sched, c.windowStart)
+	f.waiting[sched]--
+	if f.waiting[sched] <= 0 {
+		f.waiting[sched] = 0
+		f.zeroSince[sched] = t
+	}
+}
+
+func (c *clusterState) complete(req *iosched.Request, sched int, t float64) {
+	f := c.flow(req.App)
+	f.service += req.Cost()
+	f.requests++
+	f.weight = req.Weight
+	if u := req.Cost() / req.Weight; u > f.maxUnit {
+		f.maxUnit = u
+	}
+	// Track the deepest dispatch bound any coordinated scheduler used.
+	for _, s := range c.a.scheds {
+		if s.coordinated && s.maxDepth > c.maxDepth {
+			c.maxDepth = s.maxDepth
+		}
+	}
+}
+
+func (c *clusterState) roll(t float64) {
+	for w := c.a.opts.Window; t >= c.windowStart+w; c.windowStart += w {
+		c.closeWindow()
+	}
+}
+
+// backloggedSet returns the scheduler ids a flow kept a non-empty
+// queue on for (nearly) the whole window.
+func (f *clusterFlow) backloggedSet(maxZero float64) map[int]bool {
+	set := make(map[int]bool, len(f.zeroSince))
+	for id := range f.zeroSince {
+		if f.zeroDur[id] <= maxZero {
+			set[id] = true
+		}
+	}
+	return set
+}
+
+// closeWindow compares total normalized service between flows that
+// share at least one continuously backlogged scheduler — the DSFQ
+// regime: the delay rule at a shared scheduler compensates each flow
+// for service received elsewhere, making *total* service proportional.
+// The bound carries one (D+1)(c/w) term per coordinated scheduler plus
+// a staleness term for service accrued during the coordination period
+// but not yet reflected in the delay functions.
+func (c *clusterState) closeWindow() {
+	w := c.a.opts.Window
+	end := c.windowStart + w
+	// Accrue open empty-queue intervals up to the window end.
+	for _, f := range c.flows {
+		for id, since := range f.zeroSince {
+			if since < 0 {
+				continue
+			}
+			if from := math.Max(since, c.windowStart); end > from {
+				f.zeroDur[id] += end - from
+			}
+			f.zeroSince[id] = end
+		}
+	}
+	maxZero := w * c.a.opts.BacklogSlack
+	apps := make([]iosched.AppID, 0, len(c.flows))
+	sets := make(map[iosched.AppID]map[int]bool, len(c.flows))
+	for app, f := range c.flows {
+		if f.requests < c.a.opts.MinWindowRequests || f.weight <= 0 {
+			continue
+		}
+		set := f.backloggedSet(maxZero)
+		if len(set) == 0 {
+			continue
+		}
+		apps = append(apps, app)
+		sets[app] = set
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
+	d := c.maxDepth
+	if d < 1 {
+		d = 1
+	}
+	for i := 0; i < len(apps); i++ {
+		for j := i + 1; j < len(apps); j++ {
+			if !intersects(sets[apps[i]], sets[apps[j]]) {
+				continue
+			}
+			fi, fj := c.flows[apps[i]], c.flows[apps[j]]
+			c.a.count("total-proportional-share")
+			ri, rj := fi.service/fi.weight, fj.service/fj.weight
+			// Staleness: up to one coordination period of each flow's
+			// cluster-wide service rate may be unreported on both the
+			// rising and falling edge of the window.
+			stale := 2 * c.a.opts.CoordinationPeriod * (ri + rj) / w
+			bound := float64(d+1)*(fi.maxUnit+fj.maxUnit)*float64(c.members+1)*(1+c.a.opts.ShareSlack) + stale
+			if diff := math.Abs(ri - rj); diff > bound {
+				c.a.violate(Violation{
+					Time: end, Invariant: "total-proportional-share",
+					Node: -1, App: apps[i],
+					Detail: fmt.Sprintf("window [%.1fs,%.1fs): total normalized service %s=%.4g vs %s=%.4g, |diff| %.4g > bound %.4g (D=%d)",
+						c.windowStart, end, apps[i], ri, apps[j], rj, diff, bound, d),
+				})
+			}
+		}
+	}
+	for _, f := range c.flows {
+		f.service = 0
+		f.requests = 0
+		for id := range f.zeroDur {
+			f.zeroDur[id] = 0
+		}
+	}
+}
+
+// intersects reports whether two scheduler sets share an element.
+func intersects(a, b map[int]bool) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for id := range a {
+		if b[id] {
+			return true
+		}
+	}
+	return false
+}

@@ -44,7 +44,17 @@ type Broker struct {
 	reports map[string]map[iosched.AppID]float64
 	totals  map[iosched.AppID]float64
 	stats   Stats
+	probe   Probe
 }
+
+// Probe observes each completed exchange: the reporting scheduler's id
+// plus the broker itself, for invariant auditing (e.g. service
+// conservation: the per-app sum of the latest local vectors must equal
+// the global totals).
+type Probe func(scheduler string, b *Broker)
+
+// SetProbe installs the exchange probe (nil disables).
+func (b *Broker) SetProbe(p Probe) { b.probe = p }
 
 // New creates an empty broker.
 func New() *Broker {
@@ -76,7 +86,23 @@ func (b *Broker) Exchange(scheduler string, vector map[iosched.AppID]float64) ma
 	b.stats.Exchanges++
 	b.stats.EntriesUp += uint64(len(vector))
 	b.stats.EntriesDown += uint64(len(resp))
+	if b.probe != nil {
+		b.probe(scheduler, b)
+	}
 	return resp
+}
+
+// ReportedTotals sums the latest per-scheduler service vectors per app —
+// the quantity that must equal the incrementally maintained totals if
+// the broker conserves service.
+func (b *Broker) ReportedTotals() map[iosched.AppID]float64 {
+	sums := make(map[iosched.AppID]float64, len(b.totals))
+	for _, vec := range b.reports {
+		for app, cum := range vec {
+			sums[app] += cum
+		}
+	}
+	return sums
 }
 
 // Total returns the cluster-wide cumulative service for one app.

@@ -34,7 +34,9 @@ type Weight struct {
 	reads    *iosched.SFQ
 	acct     *iosched.Accounting
 	observer iosched.Observer
+	probe    iosched.Probe
 	inflight int
+	writeSeq uint64
 }
 
 // NewWeight builds the proportional-sharing cgroups baseline for one
@@ -73,6 +75,19 @@ func (w *Weight) Accounting() *iosched.Accounting { return w.acct }
 // SetObserver installs a completion observer for both paths.
 func (w *Weight) SetObserver(o iosched.Observer) { w.observer = o }
 
+// SetProbe installs a lifecycle probe. The weight-scheduled read path
+// reports through the inner SFQ (full tag/depth state); the
+// uncontrolled write-back path reports its own pass-through events.
+func (w *Weight) SetProbe(p iosched.Probe) {
+	w.probe = p
+	w.reads.SetProbe(p)
+}
+
+// ReadSFQ exposes the inner weight-scheduled read queue, so auditors
+// can apply the full SFQ invariant set to the controlled (read) half of
+// this scheduler's traffic.
+func (w *Weight) ReadSFQ() *iosched.SFQ { return w.reads }
+
 // Submit implements iosched.Scheduler.
 func (w *Weight) Submit(req *iosched.Request) {
 	if req.Class.OpKind() == storage.Read {
@@ -81,11 +96,27 @@ func (w *Weight) Submit(req *iosched.Request) {
 	}
 	// Buffered write-back: dispatched immediately, unattributed.
 	arrive := w.eng.Now()
+	req.MarkExternalArrival(w.writeSeq, arrive)
+	w.writeSeq++
 	w.inflight++
+	if w.probe != nil {
+		st := iosched.ProbeState{Event: iosched.ProbeArrive, Time: arrive, InFlight: w.inflight}
+		w.probe.Observe(req, st)
+		st.Event = iosched.ProbeDispatch
+		w.probe.Observe(req, st)
+	}
 	w.dev.Submit(storage.Write, req.Size, func(float64) {
 		w.inflight--
 		lat := w.eng.Now() - arrive
 		w.acct.AddExternal(req, w.dev.Cost(storage.Write, req.Size))
+		if w.probe != nil {
+			w.probe.Observe(req, iosched.ProbeState{
+				Event:    iosched.ProbeComplete,
+				Time:     w.eng.Now(),
+				InFlight: w.inflight,
+				Latency:  lat,
+			})
+		}
 		if w.observer != nil {
 			w.observer(req, lat)
 		}
@@ -106,10 +137,12 @@ type Throttle struct {
 	dev      *storage.Device
 	acct     *iosched.Accounting
 	observer iosched.Observer
+	probe    iosched.Probe
 	limits   map[iosched.AppID]float64
 	buckets  map[iosched.AppID]*bucket
 	inflight int
 	queued   int
+	seq      uint64
 }
 
 type bucket struct {
@@ -168,6 +201,9 @@ func (t *Throttle) Accounting() *iosched.Accounting { return t.acct }
 // SetObserver installs a completion observer.
 func (t *Throttle) SetObserver(o iosched.Observer) { t.observer = o }
 
+// SetProbe installs a lifecycle probe.
+func (t *Throttle) SetProbe(p iosched.Probe) { t.probe = p }
+
 // Submit implements iosched.Scheduler. Uncapped apps dispatch
 // immediately (FIFO behaviour); capped apps consume tokens. Buffered
 // writes bypass the throttle entirely — blkio v1 cannot attribute
@@ -178,6 +214,16 @@ func (t *Throttle) Submit(req *iosched.Request) {
 		capped = false
 	}
 	tr := &throttledReq{req: req, arrive: t.eng.Now()}
+	req.MarkExternalArrival(t.seq, tr.arrive)
+	t.seq++
+	if t.probe != nil {
+		t.probe.Observe(req, iosched.ProbeState{
+			Event:    iosched.ProbeArrive,
+			Time:     tr.arrive,
+			Queued:   t.queued,
+			InFlight: t.inflight,
+		})
+	}
 	if !capped {
 		t.dispatch(tr)
 		return
@@ -246,10 +292,27 @@ func (t *Throttle) armRelease(b *bucket) {
 func (t *Throttle) dispatch(tr *throttledReq) {
 	req := tr.req
 	t.inflight++
+	if t.probe != nil {
+		t.probe.Observe(req, iosched.ProbeState{
+			Event:    iosched.ProbeDispatch,
+			Time:     t.eng.Now(),
+			Queued:   t.queued,
+			InFlight: t.inflight,
+		})
+	}
 	t.dev.Submit(req.Class.OpKind(), req.Size, func(float64) {
 		t.inflight--
 		lat := t.eng.Now() - tr.arrive
 		t.account(req)
+		if t.probe != nil {
+			t.probe.Observe(req, iosched.ProbeState{
+				Event:    iosched.ProbeComplete,
+				Time:     t.eng.Now(),
+				Queued:   t.queued,
+				InFlight: t.inflight,
+				Latency:  lat,
+			})
+		}
 		if t.observer != nil {
 			t.observer(req, lat)
 		}

@@ -196,6 +196,12 @@ type observable interface {
 	SetObserver(iosched.Observer)
 }
 
+// probeSetter is satisfied by every scheduler that supports lifecycle
+// probes (all of them, today).
+type probeSetter interface {
+	SetProbe(iosched.Probe)
+}
+
 // New assembles a cluster on the given engine. For SFQD2, zero
 // reference latencies in cfg.Controller are filled by offline profiling
 // of the device specs (one profile per distinct spec, as the paper's
@@ -348,6 +354,36 @@ func (c *Cluster) SetIOObserver(obs IOObserver) {
 				o.SetObserver(func(req *iosched.Request, lat float64) {
 					obs(n.Index, req, lat)
 				})
+			}
+		}
+	}
+}
+
+// Instrument installs a request-lifecycle probe on every scheduler of
+// every node. build is called once per scheduler with the node index,
+// the device label ("hdfs", "local", or "nic"), and the scheduler
+// itself, and returns the probe to install (nil leaves that scheduler
+// uninstrumented). Tracing and invariant auditing both wire in here.
+func (c *Cluster) Instrument(build func(node int, dev string, s iosched.Scheduler) iosched.Probe) {
+	for _, n := range c.Nodes {
+		devs := []struct {
+			label string
+			sched iosched.Scheduler
+		}{
+			{"hdfs", n.HDFSSched},
+			{"local", n.LocalSched},
+			{"nic", n.NetSched},
+		}
+		for _, d := range devs {
+			if d.sched == nil {
+				continue
+			}
+			ps, ok := d.sched.(probeSetter)
+			if !ok {
+				continue
+			}
+			if p := build(n.Index, d.label, d.sched); p != nil {
+				ps.SetProbe(p)
 			}
 		}
 	}

@@ -45,6 +45,17 @@ func Fig02(scale float64) (*Fig02Result, error) {
 	return out, nil
 }
 
+// Fig02Bench runs the Figure 2 TeraSort profile once with the given
+// trace capacity (0 = tracing disabled) — the benchmark harness uses it
+// to measure instrumentation overhead on an unmodified workload.
+func Fig02Bench(scale float64, traceCapacity int) (*Result, error) {
+	return Run(Options{
+		Scale:         scale,
+		Policy:        cluster.Native,
+		TraceCapacity: traceCapacity,
+	}, []Entry{fullCores(teraSort(scale, 1))})
+}
+
 func toMBps(ts *metrics.TimeSeries) []float64 {
 	rates := ts.Rate()
 	out := make([]float64, len(rates))

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ibis/internal/audit"
 	"ibis/internal/cluster"
 	"ibis/internal/dfs"
 	"ibis/internal/iosched"
@@ -20,6 +21,7 @@ import (
 	"ibis/internal/metrics"
 	"ibis/internal/sim"
 	"ibis/internal/storage"
+	"ibis/internal/trace"
 )
 
 // DefaultScale is the default data down-scaling factor.
@@ -69,6 +71,13 @@ type Options struct {
 	// policy (cost units per second per device).
 	ReservationRates   map[iosched.AppID]float64
 	ReservationDefault float64
+	// TraceCapacity, when positive, enables request-lifecycle tracing
+	// into a ring of that many records (Result.Trace).
+	TraceCapacity int
+	// Audit enables online invariant auditing (Result.Audit);
+	// AuditWindow overrides the share-check period (0 = default).
+	Audit       bool
+	AuditWindow float64
 }
 
 func (o *Options) defaults() {
@@ -115,6 +124,10 @@ type Result struct {
 	// JobHandles exposes the completed jobs for deeper analysis
 	// (per-task timings etc.).
 	JobHandles []*mapreduce.Job
+	// Trace is the request-lifecycle ring buffer, if enabled.
+	Trace *trace.Tracer
+	// Audit is the invariant auditor, finished, if enabled.
+	Audit *audit.Auditor
 
 	latencies map[latKey]*metrics.Distribution
 }
@@ -176,7 +189,7 @@ func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) 
 		ctrl.ReadLref = prof.ReadLref * opts.LrefScale
 		ctrl.WriteLref = prof.WriteLref * opts.LrefScale
 	}
-	var trace []iosched.TracePoint
+	var depthTrace []iosched.TracePoint
 	cl, err := cluster.New(eng, cluster.Config{
 		CoresPerNode:       opts.CoresPerNode,
 		MemGBPerNode:       opts.MemGBPerNode,
@@ -198,7 +211,7 @@ func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) 
 	if opts.CaptureDepthTrace && opts.Policy == cluster.SFQD2 {
 		if sfq, ok := cl.Nodes[0].HDFSSched.(*iosched.SFQ); ok {
 			sfq.Controller().SetTrace(func(p iosched.TracePoint) {
-				trace = append(trace, p)
+				depthTrace = append(depthTrace, p)
 			})
 		}
 	}
@@ -227,6 +240,27 @@ func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) 
 	if opts.CaptureThroughput {
 		res.ReadSeries = metrics.NewTimeSeries(1)
 		res.WriteSeries = metrics.NewTimeSeries(1)
+	}
+	if opts.TraceCapacity > 0 {
+		res.Trace = trace.New(opts.TraceCapacity)
+	}
+	if opts.Audit {
+		res.Audit = audit.New(audit.Options{Window: opts.AuditWindow})
+		if cl.Broker != nil {
+			res.Audit.AttachBroker(cl.Broker)
+		}
+	}
+	if res.Trace != nil || res.Audit != nil {
+		cl.Instrument(func(node int, dev string, sched iosched.Scheduler) iosched.Probe {
+			var ps []iosched.Probe
+			if res.Trace != nil {
+				ps = append(ps, res.Trace.Probe(node, trace.DeviceKindOf(dev)))
+			}
+			if res.Audit != nil {
+				ps = append(ps, res.Audit.Probe(node, dev, sched))
+			}
+			return iosched.MultiProbe(ps...)
+		})
 	}
 	cl.SetIOObserver(func(_ int, req *iosched.Request, lat float64) {
 		res.TotalBytes += req.Size
@@ -269,6 +303,9 @@ func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) 
 	} else {
 		eng.Run()
 	}
+	if res.Audit != nil {
+		res.Audit.Finish()
+	}
 
 	// Collect every job the runtime saw — including ones attached by
 	// the setup hook (e.g. chained Hive stages).
@@ -287,7 +324,7 @@ func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) 
 		res.BrokerExchanges = cl.Broker.Stats().Exchanges
 	}
 	res.JobHandles = jobs
-	res.DepthTrace = trace
+	res.DepthTrace = depthTrace
 	res.EventsFired = eng.Fired()
 	return res, nil
 }

@@ -112,6 +112,28 @@ type Request struct {
 // Arrive returns the virtual time the request entered the scheduler.
 func (r *Request) Arrive() float64 { return r.arrive }
 
+// DispatchedAt returns the virtual time the request was handed to the
+// device (zero until dispatched; schedulers outside this package may
+// leave it zero).
+func (r *Request) DispatchedAt() float64 { return r.dispatch }
+
+// Cost returns the request's normalized device cost, assigned at
+// submission (zero before then).
+func (r *Request) Cost() float64 { return r.cost }
+
+// Seq returns the scheduler-local arrival sequence number; together
+// with the scheduler's identity it uniquely names a request.
+func (r *Request) Seq() uint64 { return r.seq }
+
+// MarkExternalArrival records the arrival time and scheduler-local
+// sequence number for a request handled by a scheduler implemented
+// outside this package (the cgroups baselines). Schedulers in this
+// package do this bookkeeping internally.
+func (r *Request) MarkExternalArrival(seq uint64, now float64) {
+	r.seq = seq
+	r.arrive = now
+}
+
 // StartTag returns the SFQ start tag assigned at arrival (zero for
 // schedulers that do not use tags).
 func (r *Request) StartTag() float64 { return r.startTag }

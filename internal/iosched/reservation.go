@@ -20,6 +20,8 @@ type Reservation struct {
 	dev      Backend
 	acct     *Accounting
 	observer Observer
+	probe    Probe
+	seq      uint64
 
 	// rates maps each app to its reserved service rate (cost units/s);
 	// defaultRate applies to apps not listed (0 = reject).
@@ -76,6 +78,9 @@ func (r *Reservation) Accounting() *Accounting { return r.acct }
 // SetObserver installs a completion observer.
 func (r *Reservation) SetObserver(o Observer) { r.observer = o }
 
+// SetProbe installs a lifecycle probe (tracing/auditing).
+func (r *Reservation) SetProbe(p Probe) { r.probe = p }
+
 // Apps returns the configured apps, sorted (for introspection).
 func (r *Reservation) Apps() []AppID {
 	out := make([]AppID, 0, len(r.rates))
@@ -91,6 +96,16 @@ func (r *Reservation) Submit(req *Request) {
 	req.validate()
 	req.arrive = r.eng.Now()
 	req.cost = r.dev.Cost(req.Class.OpKind(), req.Size)
+	req.seq = r.seq
+	r.seq++
+	if r.probe != nil {
+		r.probe.Observe(req, ProbeState{
+			Event:    ProbeArrive,
+			Time:     req.arrive,
+			Queued:   r.queued,
+			InFlight: r.inflight,
+		})
+	}
 
 	f := r.flows[req.App]
 	if f == nil {
@@ -162,10 +177,28 @@ func creditEps(cost float64) float64 { return 1e-9 + cost*1e-9 }
 
 func (r *Reservation) dispatch(req *Request) {
 	r.inflight++
+	req.dispatch = r.eng.Now()
+	if r.probe != nil {
+		r.probe.Observe(req, ProbeState{
+			Event:    ProbeDispatch,
+			Time:     req.dispatch,
+			Queued:   r.queued,
+			InFlight: r.inflight,
+		})
+	}
 	r.dev.Submit(req.Class.OpKind(), req.Size, func(float64) {
 		r.inflight--
 		lat := r.eng.Now() - req.arrive
 		r.acct.add(req)
+		if r.probe != nil {
+			r.probe.Observe(req, ProbeState{
+				Event:    ProbeComplete,
+				Time:     r.eng.Now(),
+				Queued:   r.queued,
+				InFlight: r.inflight,
+				Latency:  lat,
+			})
+		}
 		if r.observer != nil {
 			r.observer(req, lat)
 		}

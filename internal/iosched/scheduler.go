@@ -132,6 +132,7 @@ type FIFO struct {
 	dev      Backend
 	acct     *Accounting
 	observer Observer
+	probe    Probe
 	inflight int
 	seq      uint64
 }
@@ -143,6 +144,9 @@ func NewFIFO(eng *sim.Engine, dev Backend) *FIFO {
 
 // SetObserver installs a completion observer.
 func (f *FIFO) SetObserver(o Observer) { f.observer = o }
+
+// SetProbe installs a lifecycle probe (tracing/auditing).
+func (f *FIFO) SetProbe(p Probe) { f.probe = p }
 
 // Name implements Scheduler.
 func (f *FIFO) Name() string { return "native" }
@@ -165,10 +169,24 @@ func (f *FIFO) Submit(req *Request) {
 	req.seq = f.seq
 	f.seq++
 	f.inflight++
+	if f.probe != nil {
+		st := ProbeState{Event: ProbeArrive, Time: req.arrive, InFlight: f.inflight}
+		f.probe.Observe(req, st)
+		st.Event = ProbeDispatch
+		f.probe.Observe(req, st)
+	}
 	f.dev.Submit(req.Class.OpKind(), req.Size, func(float64) {
 		f.inflight--
 		lat := f.eng.Now() - req.arrive
 		f.acct.add(req)
+		if f.probe != nil {
+			f.probe.Observe(req, ProbeState{
+				Event:    ProbeComplete,
+				Time:     f.eng.Now(),
+				InFlight: f.inflight,
+				Latency:  lat,
+			})
+		}
 		if f.observer != nil {
 			f.observer(req, lat)
 		}

@@ -41,6 +41,7 @@ type SFQ struct {
 	vtime  float64
 	seq    uint64
 	coord  Coordinator
+	probe  Probe
 	static int // static depth; used when ctrl == nil
 	ctrl   *DepthController
 
@@ -87,6 +88,14 @@ func (s *SFQ) SetCoordinator(c Coordinator) { s.coord = c }
 
 // SetObserver installs a completion observer.
 func (s *SFQ) SetObserver(o Observer) { s.observer = o }
+
+// SetProbe installs a lifecycle probe (tracing/auditing).
+func (s *SFQ) SetProbe(p Probe) { s.probe = p }
+
+// Coordinated reports whether a Coordinator is attached (the DSFQ
+// delay rule is in force, so local service shares are intentionally
+// skewed toward total-service fairness).
+func (s *SFQ) Coordinated() bool { return s.coord != nil }
 
 // Name implements Scheduler.
 func (s *SFQ) Name() string {
@@ -165,6 +174,16 @@ func (s *SFQ) Submit(req *Request) {
 	f.lastFinish = req.finishTag
 
 	heap.Push(&s.queue, req)
+	if s.probe != nil {
+		s.probe.Observe(req, ProbeState{
+			Event:    ProbeArrive,
+			Time:     req.arrive,
+			Queued:   s.queue.Len(),
+			InFlight: s.inflight,
+			Depth:    s.Depth(),
+			VTime:    s.vtime,
+		})
+	}
 	s.dispatch()
 }
 
@@ -176,6 +195,16 @@ func (s *SFQ) dispatch() {
 		s.inflight++
 		s.dispatched++
 		req.dispatch = s.eng.Now()
+		if s.probe != nil {
+			s.probe.Observe(req, ProbeState{
+				Event:    ProbeDispatch,
+				Time:     req.dispatch,
+				Queued:   s.queue.Len(),
+				InFlight: s.inflight,
+				Depth:    s.Depth(),
+				VTime:    s.vtime,
+			})
+		}
 		s.dev.Submit(req.Class.OpKind(), req.Size, func(devLat float64) {
 			s.complete(req, devLat)
 		})
@@ -195,6 +224,17 @@ func (s *SFQ) complete(req *Request, devLat float64) {
 	// Refill the dispatch window before surfacing the completion so the
 	// device never idles while the queue is backlogged.
 	s.dispatch()
+	if s.probe != nil {
+		s.probe.Observe(req, ProbeState{
+			Event:    ProbeComplete,
+			Time:     s.eng.Now(),
+			Queued:   s.queue.Len(),
+			InFlight: s.inflight,
+			Depth:    s.Depth(),
+			VTime:    s.vtime,
+			Latency:  total,
+		})
+	}
 	if req.OnDone != nil {
 		req.OnDone(total)
 	}

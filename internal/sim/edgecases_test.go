@@ -1,0 +1,130 @@
+package sim
+
+import "testing"
+
+// These tests pin down the RunUntil clock semantics at the edges: a
+// finite-horizon run always ends with Now at the horizon unless it was
+// halted, no matter why it stopped executing events early.
+
+func TestRunUntilAdvancesClockWhenQueueDrains(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	if end := e.RunUntil(10); end != 10 {
+		t.Fatalf("RunUntil returned %v, want 10 (clock advances past drained queue)", end)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v, want 10", e.Now())
+	}
+}
+
+func TestRunUntilAdvancesClockOnEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if end := e.RunUntil(5); end != 5 {
+		t.Fatalf("RunUntil on empty queue returned %v, want 5", end)
+	}
+}
+
+func TestRunUntilAdvancesClockWithDaemonsOnly(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.ScheduleDaemon(1, func() { fired = true })
+	if end := e.RunUntil(10); end != 10 {
+		t.Fatalf("RunUntil returned %v, want 10 (daemon-only queue)", end)
+	}
+	if fired {
+		t.Fatal("daemon fired with no live work")
+	}
+}
+
+func TestRunUntilAdvancesClockWithCancelledOnly(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() { t.Error("cancelled event fired") })
+	e.Cancel(ev)
+	if end := e.RunUntil(10); end != 10 {
+		t.Fatalf("RunUntil returned %v, want 10 (cancelled-only queue)", end)
+	}
+}
+
+func TestRunUntilDaemonStopsFiringOnceLiveDrains(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		e.ScheduleDaemon(1, tick)
+	}
+	e.ScheduleDaemon(1, tick)
+	e.Schedule(2.5, func() {})
+	if end := e.RunUntil(10); end != 10 {
+		t.Fatalf("RunUntil returned %v, want 10", end)
+	}
+	if ticks != 2 {
+		t.Fatalf("daemon ticked %d times, want 2 (only while live work pending)", ticks)
+	}
+}
+
+func TestRunUntilHaltDoesNotAdvanceClock(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, d := range []float64{1, 2, 3} {
+		d := d
+		e.Schedule(d, func() {
+			fired = append(fired, d)
+			if d == 2 {
+				e.Halt()
+			}
+		})
+	}
+	if end := e.RunUntil(10); end != 2 {
+		t.Fatalf("halted RunUntil returned %v, want 2 (time of halting event)", end)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("Now() = %v after Halt, want 2", e.Now())
+	}
+	// Resuming finishes the remaining work and then advances to the horizon.
+	if end := e.RunUntil(10); end != 10 {
+		t.Fatalf("resumed RunUntil returned %v, want 10", end)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want all 3 events", fired)
+	}
+}
+
+func TestRunInfiniteLimitDoesNotAdvanceClock(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1.5, func() {})
+	if end := e.Run(); end != 1.5 {
+		t.Fatalf("Run returned %v, want 1.5 (no artificial horizon)", end)
+	}
+}
+
+func TestStepIgnoresPendingHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func() {
+		count++
+		e.Halt()
+	})
+	e.Schedule(2, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d after halted Run, want 1", count)
+	}
+	// The halt left by Run must not suppress single-stepping.
+	if !e.Step() {
+		t.Fatal("Step returned false despite a pending event")
+	}
+	if count != 2 {
+		t.Fatalf("count = %d after Step, want 2", count)
+	}
+}
+
+func TestStepAfterExplicitHalt(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(1, func() { fired = true })
+	e.Halt()
+	if !e.Step() || !fired {
+		t.Fatal("Step honored Halt; it must execute regardless")
+	}
+}

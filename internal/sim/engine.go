@@ -120,20 +120,20 @@ func (e *Engine) Run() float64 {
 }
 
 // RunUntil executes events with time <= limit. Events exactly at limit
-// are executed. It returns the virtual time of the last executed event,
-// or the starting time if nothing ran. After RunUntil, Now is
-// min(limit, time of next pending event) if the queue is non-empty and
-// limit was reached, else the time of the last event.
+// are executed. It returns the final virtual time.
+//
+// Clock semantics: with a finite limit, RunUntil always leaves Now at
+// the limit unless Halt was called — even when it stops early because
+// the queue drained or only daemon/cancelled events remain — so
+// callers can compute rates over the full [start, limit] horizon.
+// After Halt, and after Run (infinite limit), Now is the time of the
+// last executed event.
 func (e *Engine) RunUntil(limit float64) float64 {
 	e.halted = false
 	for e.queue.Len() > 0 && e.live > 0 {
 		next := e.queue.Peek()
 		if next.time > limit {
-			// Advance the clock to the horizon without firing.
-			if limit > e.now && !math.IsInf(limit, 1) {
-				e.now = limit
-			}
-			return e.now
+			break
 		}
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.canceled {
@@ -146,8 +146,14 @@ func (e *Engine) RunUntil(limit float64) float64 {
 		}
 		ev.fn()
 		if e.halted {
-			break
+			return e.now
 		}
+	}
+	// Out of eligible work: the horizon was reached, the queue drained,
+	// or only daemon/cancelled events remain. Advance the clock to a
+	// finite horizon so the whole interval is accounted for.
+	if !math.IsInf(limit, 1) && limit > e.now {
+		e.now = limit
 	}
 	return e.now
 }
@@ -156,7 +162,10 @@ func (e *Engine) RunUntil(limit float64) float64 {
 func (e *Engine) Live() int { return e.live }
 
 // Step executes exactly one (non-cancelled) event if one is pending and
-// reports whether an event was executed.
+// reports whether an event was executed. Step ignores Halt: a pending
+// Halt from a previous run does not suppress it, and it executes daemon
+// events even when no live work remains — it is a debugging aid, not a
+// scheduling primitive.
 func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
 		ev := heap.Pop(&e.queue).(*Event)

@@ -1,0 +1,429 @@
+// Package trace provides request-level lifecycle tracing for the IBIS
+// simulator: every I/O request's arrival, dispatch, and completion on
+// every interposed scheduler is recorded into a fixed-capacity ring
+// buffer, annotated with the application, I/O class, node, device, SFQ
+// tags, virtual time, queue depth, and dispatch depth in force.
+//
+// The tracer is built for production-style overhead discipline:
+//
+//   - recording a lifecycle event is a handful of stores into a
+//     pre-allocated ring slot — no allocation per event;
+//   - a disabled tracer costs one branch per event;
+//   - with no probe installed at all, schedulers pay a single nil check.
+//
+// Two export formats are supported: JSONL (one record per line, fixed
+// field order, deterministic formatting — byte-identical across runs
+// with the same Config.Seed) and the Chrome trace-event format
+// (chrome://tracing, Perfetto), where each request renders as a "queue"
+// slice (arrival → dispatch) followed by a "device" slice (dispatch →
+// completion).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ibis/internal/iosched"
+)
+
+// DeviceKind identifies which interposed scheduler of a node produced a
+// record.
+type DeviceKind uint8
+
+const (
+	// DevHDFS is the persistent-data device's scheduler.
+	DevHDFS DeviceKind = iota
+	// DevLocal is the intermediate-data device's scheduler.
+	DevLocal
+	// DevNIC is the egress NIC scheduler (OpenFlow-style extension).
+	DevNIC
+)
+
+// String names the device.
+func (d DeviceKind) String() string {
+	switch d {
+	case DevHDFS:
+		return "hdfs"
+	case DevLocal:
+		return "local"
+	case DevNIC:
+		return "nic"
+	default:
+		return "dev(?)"
+	}
+}
+
+// DeviceKindOf maps the cluster package's device labels ("hdfs",
+// "local", "nic") to a DeviceKind.
+func DeviceKindOf(label string) DeviceKind {
+	switch label {
+	case "local":
+		return DevLocal
+	case "nic":
+		return DevNIC
+	default:
+		return DevHDFS
+	}
+}
+
+// Record is one traced lifecycle event. Records are fixed-size and live
+// in the ring buffer; all fields are plain values so a record write
+// never allocates.
+type Record struct {
+	// Time is the virtual time of the event (seconds).
+	Time float64
+	// Node is the datanode index.
+	Node int32
+	// Dev is the scheduler the event occurred on.
+	Dev DeviceKind
+	// Event is the lifecycle point.
+	Event iosched.ProbeEvent
+	// App, Class, Seq, Size, Weight describe the request; Seq is unique
+	// per (Node, Dev, Class direction) stream.
+	App    iosched.AppID
+	Class  iosched.Class
+	Seq    uint64
+	Size   float64
+	Weight float64
+	// Cost is the normalized device cost assigned at submission.
+	Cost float64
+	// StartTag, FinishTag, VTime are the SFQ tags and scheduler virtual
+	// time (zero for untagged schedulers).
+	StartTag  float64
+	FinishTag float64
+	VTime     float64
+	// Queued, InFlight, Depth snapshot the scheduler after the event
+	// (Depth 0 = unbounded).
+	Queued   int32
+	InFlight int32
+	Depth    int32
+	// Latency is the request's total latency (ProbeComplete only).
+	Latency float64
+}
+
+// DefaultCapacity is the ring size used when New is given a
+// non-positive capacity (64Ki records ≈ a few MB).
+const DefaultCapacity = 1 << 16
+
+// Tracer is a ring-buffered lifecycle recorder. It is not safe for
+// concurrent use; the simulation is single-threaded by construction.
+type Tracer struct {
+	buf     []Record
+	next    uint64 // total records ever written
+	enabled bool
+}
+
+// New creates a tracer with the given ring capacity (non-positive =
+// DefaultCapacity). The ring is allocated up front so recording never
+// allocates; the tracer starts enabled.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{buf: make([]Record, capacity), enabled: true}
+}
+
+// SetEnabled switches recording on or off; records already captured are
+// kept.
+func (t *Tracer) SetEnabled(on bool) { t.enabled = on }
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t.enabled }
+
+// Capacity returns the ring size.
+func (t *Tracer) Capacity() int { return len(t.buf) }
+
+// Total returns how many records were ever written (including ones the
+// ring has since overwritten).
+func (t *Tracer) Total() uint64 { return t.next }
+
+// Len returns how many records are currently held.
+func (t *Tracer) Len() int {
+	if t.next < uint64(len(t.buf)) {
+		return int(t.next)
+	}
+	return len(t.buf)
+}
+
+// Dropped returns how many records were overwritten by ring wrap.
+func (t *Tracer) Dropped() uint64 {
+	if t.next <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.next - uint64(len(t.buf))
+}
+
+// Reset discards all records (capacity is kept).
+func (t *Tracer) Reset() { t.next = 0 }
+
+// Records returns the held records, oldest first.
+func (t *Tracer) Records() []Record {
+	n := t.Len()
+	out := make([]Record, n)
+	if t.next <= uint64(len(t.buf)) {
+		copy(out, t.buf[:n])
+		return out
+	}
+	start := int(t.next % uint64(len(t.buf)))
+	copy(out, t.buf[start:])
+	copy(out[len(t.buf)-start:], t.buf[:start])
+	return out
+}
+
+// Probe returns an iosched.Probe that records this scheduler's events
+// labeled with the node index and device kind. One probe per scheduler;
+// all share the tracer's single ring.
+func (t *Tracer) Probe(node int, dev DeviceKind) iosched.Probe {
+	return probe{t: t, node: int32(node), dev: dev}
+}
+
+type probe struct {
+	t    *Tracer
+	node int32
+	dev  DeviceKind
+}
+
+// Observe implements iosched.Probe: one ring write, no allocation.
+func (p probe) Observe(req *iosched.Request, st iosched.ProbeState) {
+	t := p.t
+	if !t.enabled {
+		return
+	}
+	r := &t.buf[t.next%uint64(len(t.buf))]
+	t.next++
+	r.Time = st.Time
+	r.Node = p.node
+	r.Dev = p.dev
+	r.Event = st.Event
+	r.App = req.App
+	r.Class = req.Class
+	r.Seq = req.Seq()
+	r.Size = req.Size
+	r.Weight = req.Weight
+	r.Cost = req.Cost()
+	r.StartTag = req.StartTag()
+	r.FinishTag = req.FinishTag()
+	r.VTime = st.VTime
+	r.Queued = int32(st.Queued)
+	r.InFlight = int32(st.InFlight)
+	r.Depth = int32(st.Depth)
+	r.Latency = st.Latency
+}
+
+// ftoa formats a float compactly and deterministically.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteJSONL writes every held record as one JSON object per line, in
+// capture order with a fixed field order, so equal traces produce
+// byte-identical output.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	var b strings.Builder
+	for _, r := range t.Records() {
+		b.Reset()
+		b.WriteString(`{"t":`)
+		b.WriteString(ftoa(r.Time))
+		b.WriteString(`,"node":`)
+		b.WriteString(strconv.Itoa(int(r.Node)))
+		b.WriteString(`,"dev":"`)
+		b.WriteString(r.Dev.String())
+		b.WriteString(`","ev":"`)
+		b.WriteString(r.Event.String())
+		b.WriteString(`","app":`)
+		b.WriteString(strconv.Quote(string(r.App)))
+		b.WriteString(`,"class":"`)
+		b.WriteString(r.Class.String())
+		b.WriteString(`","seq":`)
+		b.WriteString(strconv.FormatUint(r.Seq, 10))
+		b.WriteString(`,"size":`)
+		b.WriteString(ftoa(r.Size))
+		b.WriteString(`,"cost":`)
+		b.WriteString(ftoa(r.Cost))
+		b.WriteString(`,"w":`)
+		b.WriteString(ftoa(r.Weight))
+		b.WriteString(`,"stag":`)
+		b.WriteString(ftoa(r.StartTag))
+		b.WriteString(`,"ftag":`)
+		b.WriteString(ftoa(r.FinishTag))
+		b.WriteString(`,"vt":`)
+		b.WriteString(ftoa(r.VTime))
+		b.WriteString(`,"q":`)
+		b.WriteString(strconv.Itoa(int(r.Queued)))
+		b.WriteString(`,"inflight":`)
+		b.WriteString(strconv.Itoa(int(r.InFlight)))
+		b.WriteString(`,"depth":`)
+		b.WriteString(strconv.Itoa(int(r.Depth)))
+		b.WriteString(`,"lat":`)
+		b.WriteString(ftoa(r.Latency))
+		b.WriteString("}\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RequestTrace is one request's assembled lifecycle. Phase times are -1
+// when the corresponding event fell outside the ring (overwritten or
+// not yet occurred).
+type RequestTrace struct {
+	Node   int32
+	Dev    DeviceKind
+	App    iosched.AppID
+	Class  iosched.Class
+	Seq    uint64
+	Size   float64
+	Weight float64
+	Cost   float64
+	// StartTag/FinishTag are the SFQ tags (zero for untagged paths).
+	StartTag  float64
+	FinishTag float64
+	// Arrive, Dispatch, Complete are the phase times (-1 = unobserved).
+	Arrive   float64
+	Dispatch float64
+	Complete float64
+	// Latency is the total latency reported at completion.
+	Latency float64
+}
+
+// QueueDelay returns dispatch − arrival, or -1 if either is unobserved.
+func (r RequestTrace) QueueDelay() float64 {
+	if r.Arrive < 0 || r.Dispatch < 0 {
+		return -1
+	}
+	return r.Dispatch - r.Arrive
+}
+
+// ServiceTime returns complete − dispatch, or -1 if either is
+// unobserved.
+func (r RequestTrace) ServiceTime() float64 {
+	if r.Dispatch < 0 || r.Complete < 0 {
+		return -1
+	}
+	return r.Complete - r.Dispatch
+}
+
+type reqKey struct {
+	node  int32
+	dev   DeviceKind
+	class iosched.Class
+	app   iosched.AppID
+	seq   uint64
+}
+
+// Requests groups the held records into per-request lifecycles, ordered
+// by first-observed event time (ties broken by node, device, sequence).
+func (t *Tracer) Requests() []RequestTrace {
+	idx := make(map[reqKey]int)
+	var out []RequestTrace
+	for _, r := range t.Records() {
+		k := reqKey{r.Node, r.Dev, r.Class, r.App, r.Seq}
+		i, ok := idx[k]
+		if !ok {
+			i = len(out)
+			idx[k] = i
+			out = append(out, RequestTrace{
+				Node: r.Node, Dev: r.Dev, App: r.App, Class: r.Class,
+				Seq: r.Seq, Size: r.Size, Weight: r.Weight,
+				Arrive: -1, Dispatch: -1, Complete: -1, Latency: -1,
+			})
+		}
+		rt := &out[i]
+		if r.Cost != 0 {
+			rt.Cost = r.Cost
+		}
+		if r.StartTag != 0 {
+			rt.StartTag = r.StartTag
+		}
+		if r.FinishTag != 0 {
+			rt.FinishTag = r.FinishTag
+		}
+		switch r.Event {
+		case iosched.ProbeArrive:
+			rt.Arrive = r.Time
+		case iosched.ProbeDispatch:
+			rt.Dispatch = r.Time
+		case iosched.ProbeComplete:
+			rt.Complete = r.Time
+			rt.Latency = r.Latency
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ti, tj := firstTime(out[i]), firstTime(out[j])
+		if ti != tj {
+			return ti < tj
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		if out[i].Dev != out[j].Dev {
+			return out[i].Dev < out[j].Dev
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+func firstTime(r RequestTrace) float64 {
+	for _, t := range []float64{r.Arrive, r.Dispatch, r.Complete} {
+		if t >= 0 {
+			return t
+		}
+	}
+	return -1
+}
+
+// WriteChromeTrace writes the held records in the Chrome trace-event
+// JSON format (load in chrome://tracing or Perfetto): pid = node,
+// tid = application (assigned in first-appearance order), one "queue"
+// slice from arrival to dispatch and one "device" slice from dispatch
+// to completion per request. Virtual seconds map to microseconds.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	reqs := t.Requests()
+	tids := make(map[iosched.AppID]int)
+	var meta []string
+	tidOf := func(app iosched.AppID) int {
+		if id, ok := tids[app]; ok {
+			return id
+		}
+		id := len(tids) + 1
+		tids[app] = id
+		meta = append(meta, fmt.Sprintf(
+			`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%s}}`,
+			id, strconv.Quote(string(app))))
+		return id
+	}
+	var events []string
+	emit := func(name string, r RequestTrace, from, to float64) {
+		if from < 0 || to < 0 {
+			return
+		}
+		events = append(events, fmt.Sprintf(
+			`{"name":%s,"cat":"%s","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"app":%s,"class":"%s","seq":%d,"size":%s,"weight":%s,"stag":%s,"ftag":%s}}`,
+			strconv.Quote(name), r.Dev.String(),
+			ftoa(from*1e6), ftoa((to-from)*1e6),
+			r.Node, tidOf(r.App), strconv.Quote(string(r.App)), r.Class.String(), r.Seq,
+			ftoa(r.Size), ftoa(r.Weight), ftoa(r.StartTag), ftoa(r.FinishTag)))
+	}
+	for _, r := range reqs {
+		emit("queue", r, r.Arrive, r.Dispatch)
+		emit("device", r, r.Dispatch, r.Complete)
+	}
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	all := append(meta, events...)
+	for i, e := range all {
+		sep := ","
+		if i == len(all)-1 {
+			sep = ""
+		}
+		if _, err := io.WriteString(w, "\n"+e+sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
