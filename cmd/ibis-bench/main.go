@@ -3,17 +3,24 @@
 //
 // Usage:
 //
-//	ibis-bench [-scale 0.125] [-run fig06] [-list]
+//	ibis-bench [-scale 0.125] [-run fig06] [-parallel N] [-list]
+//	           [-cpuprofile out.prof] [-memprofile out.prof]
 //
-// Without -run, every experiment executes in order.
+// Without -run, every experiment executes in order. Experiments are
+// independent deterministic simulations, so -parallel N (default
+// GOMAXPROCS) fans them out across a bounded worker pool; results are
+// printed strictly in experiment order, so stdout is byte-identical to
+// a -parallel 1 run. Per-experiment wall times go to stderr (they vary
+// run to run and would otherwise break that guarantee).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
-	"time"
 
 	"ibis/internal/experiments"
 )
@@ -22,6 +29,9 @@ func main() {
 	scale := flag.Float64("scale", experiments.DefaultScale, "data scale factor (1 = paper volumes)")
 	run := flag.String("run", "", "run a single experiment (e.g. fig06); empty = all")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max experiments in flight (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	type exp struct {
@@ -54,24 +64,72 @@ func main() {
 		return
 	}
 
-	ran := 0
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var jobs []experiments.Job
 	for _, e := range expts {
 		if *run != "" && e.name != *run {
 			continue
 		}
-		ran++
-		start := time.Now()
-		res, err := e.fn(*scale)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
-			os.Exit(1)
-		}
-		fmt.Printf("=== %s (wall %.1fs) ===\n%s\n", e.name, time.Since(start).Seconds(), res)
+		fn := e.fn
+		jobs = append(jobs, experiments.Job{
+			Name: e.name,
+			Run:  func() (fmt.Stringer, error) { return fn(*scale) },
+		})
 	}
-	if ran == 0 {
+	if len(jobs) == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
 		os.Exit(1)
 	}
+
+	failed := false
+	err := experiments.RunAll(jobs, *parallel, func(r experiments.JobResult) error {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, r.Err)
+			failed = true
+			return r.Err
+		}
+		fmt.Fprintf(os.Stderr, "%s: wall %.1fs\n", r.Name, r.Wall.Seconds())
+		fmt.Printf("=== %s ===\n%s\n", r.Name, r.Output)
+		return nil
+	})
+	if err != nil || failed {
+		exit(1, *memprofile, *cpuprofile)
+	}
+	exit(0, *memprofile, *cpuprofile)
+}
+
+// exit writes the requested profiles (deferred StopCPUProfile does not
+// run across os.Exit, so flush explicitly) and terminates.
+func exit(code int, memprofile, cpuprofile string) {
+	if cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	os.Exit(code)
 }
 
 func wrap(fn func(float64) (fmt.Stringer, error)) func(float64) (fmt.Stringer, error) {

@@ -150,7 +150,7 @@ type bucket struct {
 	tokens  float64
 	last    float64
 	waiting waitHeap
-	release *sim.Event
+	release sim.Event
 	seq     uint64
 }
 
@@ -263,7 +263,7 @@ func (t *Throttle) refill(b *bucket) {
 
 // armRelease schedules the next token-driven release for the bucket.
 func (t *Throttle) armRelease(b *bucket) {
-	if b.release != nil || len(b.waiting) == 0 {
+	if b.release.Scheduled() || len(b.waiting) == 0 {
 		return
 	}
 	need := b.waiting[0].cost - b.tokens
@@ -272,7 +272,7 @@ func (t *Throttle) armRelease(b *bucket) {
 		delay = need / b.rate
 	}
 	b.release = t.eng.Schedule(delay, func() {
-		b.release = nil
+		b.release = sim.Event{}
 		t.refill(b)
 		// Release within a small epsilon of the cost so float rounding
 		// in the refill arithmetic cannot stall the queue forever.

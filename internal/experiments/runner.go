@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// Job is one named experiment invocation. Run must be self-contained:
+// every experiment driver in this package builds its own engine and
+// cluster, so jobs are independent deterministic simulations and can
+// execute concurrently without sharing state.
+type Job struct {
+	Name string
+	Run  func() (fmt.Stringer, error)
+}
+
+// JobResult is the outcome of one Job.
+type JobResult struct {
+	Name   string
+	Output fmt.Stringer // nil when Err != nil
+	Err    error
+	Wall   time.Duration // wall-clock time the job itself took
+}
+
+// RunAll executes jobs with at most parallel concurrent workers and
+// delivers results to yield strictly in submission order, so the
+// consumer-visible stream is byte-identical to a serial run regardless
+// of parallelism. If yield returns an error, no further jobs are
+// started and that error is returned after in-flight jobs drain.
+// parallel values below 1 are treated as 1.
+func RunAll(jobs []Job, parallel int, yield func(JobResult) error) error {
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel == 1 {
+		for _, j := range jobs {
+			start := time.Now()
+			out, err := j.Run()
+			if e := yield(JobResult{Name: j.Name, Output: out, Err: err, Wall: time.Since(start)}); e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+
+	results := make([]chan JobResult, len(jobs))
+	for i := range results {
+		results[i] = make(chan JobResult, 1)
+	}
+	stop := make(chan struct{})
+	sem := make(chan struct{}, parallel)
+	go func() {
+		for i, j := range jobs {
+			select {
+			case <-stop:
+				// Unblock consumers still waiting on unstarted jobs.
+				for k := i; k < len(jobs); k++ {
+					results[k] <- JobResult{Name: jobs[k].Name}
+				}
+				return
+			case sem <- struct{}{}:
+			}
+			go func(i int, j Job) {
+				defer func() { <-sem }()
+				start := time.Now()
+				out, err := j.Run()
+				results[i] <- JobResult{Name: j.Name, Output: out, Err: err, Wall: time.Since(start)}
+			}(i, j)
+		}
+	}()
+
+	var yieldErr error
+	for i := range jobs {
+		r := <-results[i]
+		if yieldErr != nil {
+			continue // drain in-flight jobs, discard their results
+		}
+		if err := yield(r); err != nil {
+			yieldErr = err
+			close(stop)
+		}
+	}
+	return yieldErr
+}

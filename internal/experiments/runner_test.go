@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type strResult string
+
+func (s strResult) String() string { return string(s) }
+
+func makeJobs(n int, started *atomic.Int32) []Job {
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job%02d", i),
+			Run: func() (fmt.Stringer, error) {
+				if started != nil {
+					started.Add(1)
+				}
+				// Later jobs finish sooner, so parallel completion order
+				// inverts submission order — yield order must not.
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return strResult(fmt.Sprintf("out%02d", i)), nil
+			},
+		}
+	}
+	return jobs
+}
+
+// TestRunAllOrderPreserved checks the core guarantee: whatever the
+// parallelism, results are yielded strictly in submission order, so the
+// consumer's output stream is identical to a serial run.
+func TestRunAllOrderPreserved(t *testing.T) {
+	for _, parallel := range []int{1, 2, 4, 16} {
+		var got []string
+		err := RunAll(makeJobs(12, nil), parallel, func(r JobResult) error {
+			if r.Err != nil {
+				return r.Err
+			}
+			got = append(got, r.Name+":"+r.Output.String())
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if len(got) != 12 {
+			t.Fatalf("parallel=%d: yielded %d results, want 12", parallel, len(got))
+		}
+		for i, g := range got {
+			want := fmt.Sprintf("job%02d:out%02d", i, i)
+			if g != want {
+				t.Fatalf("parallel=%d: result %d = %q, want %q (order not preserved)", parallel, i, g, want)
+			}
+		}
+	}
+}
+
+// TestRunAllStopsOnYieldError checks that a yield error propagates and
+// prevents unstarted jobs from launching.
+func TestRunAllStopsOnYieldError(t *testing.T) {
+	var started atomic.Int32
+	boom := errors.New("boom")
+	n := 0
+	err := RunAll(makeJobs(50, &started), 2, func(r JobResult) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 3 {
+		t.Fatalf("yield ran %d times, want 3 (stop after error)", n)
+	}
+	if got := started.Load(); got == 50 {
+		t.Fatal("all 50 jobs started despite early error; launching was not stopped")
+	}
+}
+
+// TestRunAllJobErrorSurfaced checks a failing job reaches yield with
+// its error and a nil output.
+func TestRunAllJobErrorSurfaced(t *testing.T) {
+	bad := errors.New("experiment exploded")
+	jobs := []Job{
+		{Name: "ok", Run: func() (fmt.Stringer, error) { return strResult("fine"), nil }},
+		{Name: "bad", Run: func() (fmt.Stringer, error) { return nil, bad }},
+	}
+	var seen []error
+	err := RunAll(jobs, 4, func(r JobResult) error {
+		seen = append(seen, r.Err)
+		return r.Err
+	})
+	if !errors.Is(err, bad) {
+		t.Fatalf("err = %v, want job error", err)
+	}
+	if len(seen) != 2 || seen[0] != nil || !errors.Is(seen[1], bad) {
+		t.Fatalf("yield saw errors %v, want [nil, bad]", seen)
+	}
+}
+
+// TestRunAllBoundedConcurrency checks the worker pool never exceeds the
+// requested parallelism.
+func TestRunAllBoundedConcurrency(t *testing.T) {
+	const limit = 3
+	var inFlight, peak atomic.Int32
+	jobs := make([]Job, 20)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("j%d", i),
+			Run: func() (fmt.Stringer, error) {
+				cur := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				inFlight.Add(-1)
+				return strResult("x"), nil
+			},
+		}
+	}
+	if err := RunAll(jobs, limit, func(JobResult) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+}

@@ -1,0 +1,66 @@
+package iosched
+
+import (
+	"fmt"
+	"testing"
+
+	"ibis/internal/sim"
+	"ibis/internal/storage"
+)
+
+// benchDev is a minimal Backend: unit cost per byte and a fixed
+// in-device latency delivered through the engine, so the benchmark
+// isolates scheduler tagging/queueing/dispatch cost from device
+// modeling.
+type benchDev struct {
+	eng *sim.Engine
+}
+
+func (d benchDev) Cost(kind storage.OpKind, size float64) float64 { return size }
+
+func (d benchDev) Submit(kind storage.OpKind, size float64, done func(latency float64)) {
+	d.eng.Schedule(0.001, func() { done(0.001) })
+}
+
+// BenchmarkSFQSubmitDispatch drives a closed loop of requests from four
+// weighted flows through SFQ(D): each op is one request's full
+// submit → tag → queue → dispatch → complete cycle.
+func BenchmarkSFQSubmitDispatch(b *testing.B) {
+	eng := sim.NewEngine()
+	s := NewSFQD(eng, benchDev{eng}, 4)
+	const window = 64
+	reqs := make([]*Request, window)
+	done, submitted, target := 0, 0, 0
+	for i := range reqs {
+		r := &Request{
+			App:    AppID(fmt.Sprintf("app%d", i%4)),
+			Weight: float64(1 + i%3),
+			Class:  PersistentRead,
+			Size:   1000,
+		}
+		r.OnDone = func(float64) {
+			done++
+			if submitted < target {
+				submitted++
+				s.Submit(r)
+			}
+		}
+		reqs[i] = r
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	target = b.N
+	first := window
+	if first > target {
+		first = target
+	}
+	submitted = first
+	for _, r := range reqs[:first] {
+		s.Submit(r)
+	}
+	for done < target {
+		if !eng.Step() {
+			b.Fatal("engine drained before all requests completed")
+		}
+	}
+}

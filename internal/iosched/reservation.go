@@ -38,7 +38,7 @@ type resFlow struct {
 	credits float64 // accumulated cost units
 	last    float64
 	queue   []*Request
-	release *sim.Event
+	release sim.Event
 }
 
 // NewReservation builds the strict-partitioning scheduler. rates gives
@@ -147,7 +147,7 @@ func (r *Reservation) refill(f *resFlow) {
 }
 
 func (r *Reservation) armRelease(f *resFlow) {
-	if f.release != nil || len(f.queue) == 0 {
+	if f.release.Scheduled() || len(f.queue) == 0 {
 		return
 	}
 	need := f.queue[0].cost - f.credits
@@ -156,7 +156,7 @@ func (r *Reservation) armRelease(f *resFlow) {
 		delay = need / f.rate
 	}
 	f.release = r.eng.Schedule(delay, func() {
-		f.release = nil
+		f.release = sim.Event{}
 		r.refill(f)
 		for len(f.queue) > 0 && f.credits >= f.queue[0].cost-creditEps(f.queue[0].cost) {
 			req := f.queue[0]

@@ -1,7 +1,6 @@
 package iosched
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -173,7 +172,7 @@ func (s *SFQ) Submit(req *Request) {
 	req.finishTag = req.startTag + req.cost/req.Weight
 	f.lastFinish = req.finishTag
 
-	heap.Push(&s.queue, req)
+	s.queue.push(req)
 	if s.probe != nil {
 		s.probe.Observe(req, ProbeState{
 			Event:    ProbeArrive,
@@ -190,7 +189,7 @@ func (s *SFQ) Submit(req *Request) {
 // dispatch sends queued requests to the device while capacity remains.
 func (s *SFQ) dispatch() {
 	for s.queue.Len() > 0 && s.inflight < s.Depth() {
-		req := heap.Pop(&s.queue).(*Request)
+		req := s.queue.pop()
 		s.vtime = req.startTag
 		s.inflight++
 		s.dispatched++
@@ -240,36 +239,68 @@ func (s *SFQ) complete(req *Request, devLat float64) {
 	}
 }
 
-// reqHeap orders requests by (startTag, seq).
+// reqHeap is a specialized min-heap over *Request ordered by
+// (startTag, seq). Hand-rolled push/pop avoid container/heap's
+// interface boxing and indirect calls on the scheduler hot path.
 type reqHeap []*Request
 
 func (h reqHeap) Len() int { return len(h) }
 
-func (h reqHeap) Less(i, j int) bool {
-	if h[i].startTag != h[j].startTag {
-		return h[i].startTag < h[j].startTag
+func reqLess(a, b *Request) bool {
+	if a.startTag != b.startTag {
+		return a.startTag < b.startTag
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h reqHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIndex = i
-	h[j].heapIndex = j
+func (h *reqHeap) push(r *Request) {
+	q := append(*h, r)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !reqLess(r, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].heapIndex = i
+		i = parent
+	}
+	q[i] = r
+	r.heapIndex = i
+	*h = q
 }
 
-func (h *reqHeap) Push(x any) {
-	r := x.(*Request)
-	r.heapIndex = len(*h)
-	*h = append(*h, r)
-}
-
-func (h *reqHeap) Pop() any {
-	old := *h
-	n := len(old)
-	r := old[n-1]
-	old[n-1] = nil
-	r.heapIndex = -1
-	*h = old[:n-1]
-	return r
+func (h *reqHeap) pop() *Request {
+	q := *h
+	min := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nil
+	q = q[:last]
+	*h = q
+	min.heapIndex = -1
+	if last == 0 {
+		return min
+	}
+	// Sift the relocated tail element down from the root.
+	r := q[0]
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= last {
+			break
+		}
+		if rc := child + 1; rc < last && reqLess(q[rc], q[child]) {
+			child = rc
+		}
+		if !reqLess(q[child], r) {
+			break
+		}
+		q[i] = q[child]
+		q[i].heapIndex = i
+		i = child
+	}
+	q[i] = r
+	r.heapIndex = i
+	return min
 }

@@ -9,34 +9,54 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a handle to a scheduled callback. It can be cancelled as long
-// as it has not fired yet.
-type Event struct {
-	time     float64
-	seq      uint64
-	index    int // heap index, -1 once removed
-	fn       func()
-	canceled bool
-	daemon   bool
+// event is the engine-owned record of one scheduled callback. Records
+// are recycled through a generation-counted freelist once they fire or
+// are cancelled, so steady-state scheduling does not allocate; callers
+// hold Event handles, never *event.
+type event struct {
+	time   float64
+	fn     func()
+	seq    uint64
+	gen    uint64
+	index  int32 // position in Engine.queue, -1 when not queued
+	daemon bool
 }
 
-// Time returns the virtual time at which the event is scheduled to fire.
-func (e *Event) Time() float64 { return e.time }
+// Event is a cancellable handle to a scheduled callback. The zero value
+// is an inert handle: cancelling it is a no-op and Scheduled reports
+// false. Handles are small values, safe to copy and to keep after the
+// event fires — the generation counter guards against the underlying
+// record being recycled for a later event.
+type Event struct {
+	ev   *event
+	gen  uint64
+	time float64
+}
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// Time returns the virtual time at which the event was scheduled to
+// fire. It stays valid after the event fires or is cancelled.
+func (h Event) Time() float64 { return h.time }
+
+// Scheduled reports whether the handle still refers to a pending event
+// (not yet fired, not cancelled).
+func (h Event) Scheduled() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+// Canceled reports whether the event will never fire through this
+// handle: it was cancelled, it already fired, or the handle is the zero
+// value.
+func (h Event) Canceled() bool { return h.ev == nil || h.ev.gen != h.gen }
 
 // Engine is a discrete-event simulation executive. The zero value is not
 // usable; create one with NewEngine.
 type Engine struct {
 	now    float64
 	seq    uint64
-	queue  eventHeap
+	queue  []*event // min-heap ordered by (time, seq)
+	free   []*event // recycled records; see event doc
 	fired  uint64
 	halted bool
 	live   int // pending non-daemon events
@@ -54,13 +74,13 @@ func (e *Engine) Now() float64 { return e.now }
 // and complexity metric for experiments.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of scheduled-but-unfired events, including
-// cancelled events that have not yet been popped.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending returns the number of scheduled-but-unfired events. Cancelled
+// events are removed from the queue immediately, so they never count.
+func (e *Engine) Pending() int { return len(e.queue) }
 
 // Schedule runs fn after delay seconds of virtual time. A negative delay
 // is treated as zero. It returns a cancellable handle.
-func (e *Engine) Schedule(delay float64, fn func()) *Event {
+func (e *Engine) Schedule(delay float64, fn func()) Event {
 	if delay < 0 || math.IsNaN(delay) {
 		delay = 0
 	}
@@ -70,18 +90,8 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 // At runs fn at absolute virtual time t. Times before Now are clamped to
 // Now (the event fires "immediately", after already-queued events for the
 // current instant).
-func (e *Engine) At(t float64, fn func()) *Event {
-	if fn == nil {
-		panic("sim: At called with nil fn")
-	}
-	if t < e.now || math.IsNaN(t) {
-		t = e.now
-	}
-	ev := &Event{time: t, seq: e.seq, fn: fn}
-	e.seq++
-	e.live++
-	heap.Push(&e.queue, ev)
-	return ev
+func (e *Engine) At(t float64, fn func()) Event {
+	return e.schedule(t, fn, false)
 }
 
 // ScheduleDaemon is like Schedule, but the event does not keep the
@@ -89,24 +99,62 @@ func (e *Engine) At(t float64, fn func()) *Event {
 // Periodic housekeeping (controller ticks, broker exchanges, metric
 // sampling) should use daemon events so a simulation ends when the
 // workload does.
-func (e *Engine) ScheduleDaemon(delay float64, fn func()) *Event {
-	ev := e.Schedule(delay, fn)
-	ev.daemon = true
-	e.live--
-	return ev
+func (e *Engine) ScheduleDaemon(delay float64, fn func()) Event {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return e.schedule(e.now+delay, fn, true)
 }
 
-// Cancel prevents a scheduled event from firing. Cancelling an event that
-// already fired or was already cancelled is a no-op. Cancel(nil) is a
-// no-op too, so callers can cancel optional timers unconditionally.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
+func (e *Engine) schedule(t float64, fn func(), daemon bool) Event {
+	if fn == nil {
+		panic("sim: At called with nil fn")
+	}
+	if t < e.now || math.IsNaN(t) {
+		t = e.now
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.time = t
+	ev.fn = fn
+	ev.seq = e.seq
+	ev.daemon = daemon
+	e.seq++
+	if !daemon {
+		e.live++
+	}
+	e.heapPush(ev)
+	return Event{ev: ev, gen: ev.gen, time: t}
+}
+
+// recycle retires a record that fired or was cancelled. Bumping the
+// generation first invalidates every outstanding handle to it.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// Cancel prevents a scheduled event from firing, removing it from the
+// queue immediately (no tombstones). Cancelling an event that already
+// fired or was already cancelled is a no-op, as is cancelling the zero
+// handle, so callers can cancel optional timers unconditionally.
+func (e *Engine) Cancel(h Event) {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.index < 0 {
 		return
 	}
-	ev.canceled = true
 	if !ev.daemon {
 		e.live--
 	}
+	e.heapRemove(int(ev.index))
+	e.recycle(ev)
 }
 
 // Halt stops the currently executing Run/RunUntil after the current event
@@ -124,34 +172,35 @@ func (e *Engine) Run() float64 {
 //
 // Clock semantics: with a finite limit, RunUntil always leaves Now at
 // the limit unless Halt was called — even when it stops early because
-// the queue drained or only daemon/cancelled events remain — so
-// callers can compute rates over the full [start, limit] horizon.
-// After Halt, and after Run (infinite limit), Now is the time of the
-// last executed event.
+// the queue drained or only daemon events remain — so callers can
+// compute rates over the full [start, limit] horizon. After Halt, and
+// after Run (infinite limit), Now is the time of the last executed
+// event.
 func (e *Engine) RunUntil(limit float64) float64 {
 	e.halted = false
-	for e.queue.Len() > 0 && e.live > 0 {
-		next := e.queue.Peek()
+	for len(e.queue) > 0 && e.live > 0 {
+		next := e.queue[0]
 		if next.time > limit {
 			break
 		}
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.time
+		e.heapPopMin()
+		e.now = next.time
 		e.fired++
-		if !ev.daemon {
+		if !next.daemon {
 			e.live--
 		}
-		ev.fn()
+		fn := next.fn
+		// Recycle before running fn: the record is dead the moment it is
+		// popped, and recycling first lets fn's own scheduling reuse it.
+		e.recycle(next)
+		fn()
 		if e.halted {
 			return e.now
 		}
 	}
 	// Out of eligible work: the horizon was reached, the queue drained,
-	// or only daemon/cancelled events remain. Advance the clock to a
-	// finite horizon so the whole interval is accounted for.
+	// or only daemon events remain. Advance the clock to a finite
+	// horizon so the whole interval is accounted for.
 	if !math.IsInf(limit, 1) && limit > e.now {
 		e.now = limit
 	}
@@ -161,65 +210,124 @@ func (e *Engine) RunUntil(limit float64) float64 {
 // Live returns the number of pending non-daemon events.
 func (e *Engine) Live() int { return e.live }
 
-// Step executes exactly one (non-cancelled) event if one is pending and
-// reports whether an event was executed. Step ignores Halt: a pending
-// Halt from a previous run does not suppress it, and it executes daemon
-// events even when no live work remains — it is a debugging aid, not a
-// scheduling primitive.
+// Step executes exactly one event if one is pending and reports whether
+// an event was executed. Step ignores Halt: a pending Halt from a
+// previous run does not suppress it, and it executes daemon events even
+// when no live work remains — it is a debugging aid, not a scheduling
+// primitive.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.time
-		e.fired++
-		if !ev.daemon {
-			e.live--
-		}
-		ev.fn()
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := e.heapPopMin()
+	e.now = ev.time
+	e.fired++
+	if !ev.daemon {
+		e.live--
+	}
+	fn := ev.fn
+	e.recycle(ev)
+	fn()
+	return true
 }
 
 // String implements fmt.Stringer for debugging.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{now=%.3fs pending=%d fired=%d}", e.now, e.queue.Len(), e.fired)
+	return fmt.Sprintf("sim.Engine{now=%.3fs pending=%d fired=%d}", e.now, len(e.queue), e.fired)
 }
 
-// eventHeap is a min-heap ordered by (time, seq).
-type eventHeap []*Event
+// --- specialized event min-heap, ordered by (time, seq) ---
+//
+// A hand-rolled heap over []*event avoids container/heap's interface
+// boxing and per-op indirect calls; with the freelist above it makes the
+// event loop allocation-free in steady state.
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func eventLess(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (e *Engine) heapPush(ev *event) {
+	ev.index = int32(len(e.queue))
+	e.queue = append(e.queue, ev)
+	e.siftUp(len(e.queue) - 1)
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+// heapPopMin removes and returns the earliest event.
+func (e *Engine) heapPopMin() *event {
+	q := e.queue
+	min := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = nil
+	e.queue = q[:last]
+	if last > 0 {
+		q[0].index = 0
+		e.siftDown(0)
+	}
+	min.index = -1
+	return min
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+// heapRemove removes the event at queue position i.
+func (e *Engine) heapRemove(i int) {
+	q := e.queue
+	last := len(q) - 1
+	ev := q[i]
+	if i != last {
+		q[i] = q[last]
+		q[i].index = int32(i)
+	}
+	q[last] = nil
+	e.queue = q[:last]
+	if i < last {
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
 	ev.index = -1
-	*h = old[:n-1]
-	return ev
 }
 
-func (h eventHeap) Peek() *Event { return h[0] }
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(ev, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].index = int32(i)
+		i = parent
+	}
+	q[i] = ev
+	ev.index = int32(i)
+}
+
+// siftDown restores heap order below i, reporting whether ev moved.
+func (e *Engine) siftDown(i int) bool {
+	q := e.queue
+	n := len(q)
+	ev := q[i]
+	start := i
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventLess(q[r], q[child]) {
+			child = r
+		}
+		if !eventLess(q[child], ev) {
+			break
+		}
+		q[i] = q[child]
+		q[i].index = int32(i)
+		i = child
+	}
+	q[i] = ev
+	ev.index = int32(i)
+	return i > start
+}

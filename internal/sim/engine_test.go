@@ -105,9 +105,9 @@ func TestCancelPreventsFiring(t *testing.T) {
 	}
 }
 
-func TestCancelNilIsNoop(t *testing.T) {
+func TestCancelZeroHandleIsNoop(t *testing.T) {
 	e := NewEngine()
-	e.Cancel(nil) // must not panic
+	e.Cancel(Event{}) // must not panic
 }
 
 func TestCancelFiredEventIsNoop(t *testing.T) {
@@ -274,7 +274,7 @@ func TestPropertyCancellation(t *testing.T) {
 		e := NewEngine()
 		n := 1 + rng.Intn(50)
 		fired := make([]bool, n)
-		evs := make([]*Event, n)
+		evs := make([]Event, n)
 		cancelled := make([]bool, n)
 		for i := 0; i < n; i++ {
 			i := i
@@ -332,5 +332,140 @@ func TestStringer(t *testing.T) {
 	e := NewEngine()
 	if e.String() == "" {
 		t.Fatal("String() empty")
+	}
+}
+
+// --- freelist & generation-counter behavior ---
+
+func TestFreelistReusesFiredRecord(t *testing.T) {
+	e := NewEngine()
+	nop := func() {}
+	h1 := e.Schedule(1, nop)
+	e.Run()
+	h2 := e.Schedule(1, nop)
+	if h1.ev != h2.ev {
+		t.Fatal("fired event record was not recycled")
+	}
+	if h1.Scheduled() {
+		t.Fatal("stale handle reports Scheduled after its record was reused")
+	}
+	if !h2.Scheduled() {
+		t.Fatal("fresh handle on recycled record not Scheduled")
+	}
+}
+
+func TestStaleCancelDoesNotKillRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	nop := func() {}
+	h1 := e.Schedule(1, nop)
+	e.Cancel(h1)
+	fired := false
+	h2 := e.Schedule(1, func() { fired = true })
+	if h1.ev != h2.ev {
+		t.Fatal("cancelled event record was not recycled")
+	}
+	e.Cancel(h1) // stale: generation mismatch, must be a no-op
+	if !h2.Scheduled() {
+		t.Fatal("stale Cancel removed the recycled event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestCancelRemovesFromQueueImmediately(t *testing.T) {
+	e := NewEngine()
+	nop := func() {}
+	h := e.Schedule(1, nop)
+	e.Schedule(2, nop)
+	e.Schedule(3, nop)
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	e.Cancel(h)
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d after Cancel, want 2 (no tombstones)", e.Pending())
+	}
+}
+
+func TestCancelDuringOwnCallbackIsNoop(t *testing.T) {
+	e := NewEngine()
+	var self Event
+	ok := true
+	self = e.Schedule(1, func() {
+		// The record is already recycled when fn runs; cancelling the
+		// handle must not disturb anything.
+		e.Cancel(self)
+		ok = e.Pending() == 0
+	})
+	e.Run()
+	if !ok {
+		t.Fatal("self-cancel inside callback disturbed the queue")
+	}
+}
+
+func TestHandleTimeSurvivesRecycling(t *testing.T) {
+	e := NewEngine()
+	nop := func() {}
+	h1 := e.Schedule(2.5, nop)
+	e.Run()
+	e.Schedule(7, nop) // reuses the record with a different time
+	if h1.Time() != 2.5 {
+		t.Fatalf("stale handle Time = %v, want 2.5", h1.Time())
+	}
+}
+
+func TestCancelledPropertyRandomized(t *testing.T) {
+	// Interleave schedule/cancel/run and check the freelist never
+	// double-frees: every live event fires exactly once.
+	rng := rand.New(rand.NewSource(11))
+	e := NewEngine()
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		count := 0
+		handles := make([]Event, 0, n)
+		for i := 0; i < n; i++ {
+			handles = append(handles, e.Schedule(rng.Float64(), func() { count++ }))
+		}
+		cancelled := 0
+		var dead []Event
+		for _, h := range handles {
+			if rng.Intn(3) == 0 {
+				e.Cancel(h)
+				dead = append(dead, h)
+				cancelled++
+			}
+		}
+		// Stale double-cancels must be no-ops.
+		for _, h := range dead {
+			if rng.Intn(2) == 0 {
+				e.Cancel(h)
+			}
+		}
+		e.Run()
+		if count != n-cancelled {
+			t.Fatalf("trial %d: fired %d, want %d", trial, count, n-cancelled)
+		}
+	}
+}
+
+// TestEventLoopSteadyStateAllocFree pins the tentpole guarantee behind
+// BenchmarkEngineEventLoop in the regular test suite: once warm, the
+// schedule/cancel/fire cycle performs zero heap allocations.
+func TestEventLoopSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	nop := func() {}
+	cycle := func() {
+		doomed := e.Schedule(1.0, nop)
+		e.Schedule(0.5, nop)
+		e.Cancel(doomed)
+		e.Run()
+	}
+	for i := 0; i < 100; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(500, cycle); allocs != 0 {
+		t.Fatalf("steady-state event loop allocates %v allocs/op, want 0", allocs)
 	}
 }

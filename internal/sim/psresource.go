@@ -18,13 +18,15 @@ func ConstantCapacity(rate float64) CapacityFunc {
 
 // PSJob is one unit of work being serviced by a PSResource.
 type PSJob struct {
-	res       *PSResource
-	remaining float64 // service units left
-	demand    float64 // total service units requested
-	start     float64 // virtual time service began
-	seq       uint64  // submission order, for deterministic tie-breaking
-	onDone    func()
-	active    bool
+	res      *PSResource
+	demand   float64 // total service units requested
+	finishV  float64 // virtual service point at which the job completes
+	residual float64 // remaining units frozen at deactivation
+	start    float64 // virtual time service began
+	seq      uint64  // submission order, for deterministic tie-breaking
+	index    int32   // position in PSResource.heap, -1 when not queued
+	onDone   func()
+	active   bool
 	// Payload lets callers attach arbitrary context to a job.
 	Payload any
 }
@@ -32,10 +34,18 @@ type PSJob struct {
 // Demand returns the total service units the job requested.
 func (j *PSJob) Demand() float64 { return j.demand }
 
-// Remaining returns the service units still owed to the job. It is only
-// meaningful mid-update; callers that need an exact instantaneous value
+// Remaining returns the service units still owed to the job. Progress is
+// only applied at events; callers that need an exact instantaneous value
 // should call PSResource.Sync first.
-func (j *PSJob) Remaining() float64 { return j.remaining }
+func (j *PSJob) Remaining() float64 {
+	if !j.active {
+		return j.residual
+	}
+	if rem := j.finishV - j.res.vserv; rem > 0 {
+		return rem
+	}
+	return 0
+}
 
 // Start returns the virtual time at which service of the job began.
 func (j *PSJob) Start() float64 { return j.start }
@@ -48,17 +58,28 @@ func (j *PSJob) Active() bool { return j.active }
 // which may itself depend on the number of active jobs (seek thrashing on
 // disks, internal parallelism on SSDs, ...).
 //
+// Progress is tracked with virtual-service accounting: vserv is the
+// cumulative service every continuously-active job has received, and a
+// job submitted at vserv = v with demand d completes when vserv reaches
+// v + d. Because every active job accrues vserv at the same (possibly
+// capacity-curve-dependent) per-job rate, advancing the clock is O(1) —
+// one addition to vserv — instead of a rescan of all jobs, and the next
+// completion is the minimum finishV in a heap, O(log n) to maintain.
+//
 // A capacity disturbance factor can be applied (SetDisturbance) to model
 // transient slowdowns such as write-back flushes.
 type PSResource struct {
 	eng         *Engine
 	capacity    CapacityFunc
 	disturbance float64 // multiplier on capacity, default 1
-	jobs        map[*PSJob]struct{}
+	heap        []*PSJob
+	vserv       float64 // cumulative per-job virtual service
 	lastUpdate  float64
-	nextDone    *Event
+	nextDone    Event
 	name        string
 	jobSeq      uint64
+	completeFn  func()   // cached completeDue method value (no per-reschedule alloc)
+	due         []*PSJob // scratch reused by completeDue
 
 	// Cumulative accounting.
 	servedUnits float64
@@ -71,21 +92,22 @@ func NewPSResource(eng *Engine, name string, capacity CapacityFunc) *PSResource 
 	if capacity == nil {
 		panic("sim: NewPSResource requires a capacity function")
 	}
-	return &PSResource{
+	r := &PSResource{
 		eng:         eng,
 		capacity:    capacity,
 		disturbance: 1,
-		jobs:        make(map[*PSJob]struct{}),
 		lastUpdate:  eng.Now(),
 		name:        name,
 	}
+	r.completeFn = r.completeDue
+	return r
 }
 
 // Name returns the identifier given at construction.
 func (r *PSResource) Name() string { return r.name }
 
 // InFlight returns the number of jobs currently in service.
-func (r *PSResource) InFlight() int { return len(r.jobs) }
+func (r *PSResource) InFlight() int { return len(r.heap) }
 
 // ServedUnits returns the cumulative service units delivered.
 func (r *PSResource) ServedUnits() float64 { return r.servedUnits }
@@ -101,7 +123,7 @@ func (r *PSResource) Completed() uint64 { return r.completed }
 // capacity at the current concurrency scaled by the disturbance factor.
 // Zero when idle.
 func (r *PSResource) Rate() float64 {
-	n := len(r.jobs)
+	n := len(r.heap)
 	if n == 0 {
 		return 0
 	}
@@ -127,22 +149,23 @@ func (r *PSResource) Disturbance() float64 { return r.disturbance }
 // complete immediately (via a zero-delay event, preserving causality).
 func (r *PSResource) Submit(demand float64, onDone func()) *PSJob {
 	job := &PSJob{
-		res:       r,
-		remaining: demand,
-		demand:    demand,
-		start:     r.eng.Now(),
-		seq:       r.jobSeq,
-		onDone:    onDone,
-		active:    true,
+		res:    r,
+		demand: demand,
+		start:  r.eng.Now(),
+		seq:    r.jobSeq,
+		index:  -1,
+		onDone: onDone,
+		active: true,
 	}
 	r.jobSeq++
 	if demand <= 0 {
-		job.remaining = 0
+		job.finishV = r.vserv
 		r.eng.Schedule(0, func() { r.finish(job) })
 		return job
 	}
 	r.advance()
-	r.jobs[job] = struct{}{}
+	job.finishV = r.vserv + demand
+	r.jobPush(job)
 	r.reschedule()
 	return job
 }
@@ -155,7 +178,12 @@ func (r *PSResource) Abort(job *PSJob) {
 	}
 	r.advance()
 	job.active = false
-	delete(r.jobs, job)
+	if rem := job.finishV - r.vserv; rem > 0 {
+		job.residual = rem
+	}
+	if job.index >= 0 {
+		r.jobRemove(int(job.index))
+	}
 	r.reschedule()
 }
 
@@ -166,36 +194,32 @@ func (r *PSResource) Sync() {
 	r.reschedule()
 }
 
-// advance applies service progress accumulated since lastUpdate to all
-// active jobs.
+// advance applies service progress accumulated since lastUpdate. With
+// virtual-service accounting this is a single O(1) update regardless of
+// how many jobs are in flight; no per-job state is touched.
 func (r *PSResource) advance() {
 	now := r.eng.Now()
 	dt := now - r.lastUpdate
 	r.lastUpdate = now
-	n := len(r.jobs)
+	n := len(r.heap)
 	if dt <= 0 || n == 0 {
 		return
 	}
-	perJob := r.capacity(n) * r.disturbance / float64(n)
-	done := dt * perJob
-	for j := range r.jobs {
-		dec := done
-		if j.remaining < dec {
-			// Completion events are scheduled at the earliest finish, so
-			// underflow here is numerical noise only; charge actual work.
-			dec = j.remaining
-		}
-		j.remaining -= dec
-		r.servedUnits += dec
-	}
+	dv := dt * r.capacity(n) * r.disturbance / float64(n)
+	r.vserv += dv
+	// Completion events are scheduled at the earliest finish, so any
+	// per-job overshoot here is numerical noise; completeDue charges the
+	// signed remainder back when the job is retired.
+	r.servedUnits += dv * float64(n)
 	r.busyTime += dt
 }
 
-// reschedule recomputes the next completion event.
+// reschedule recomputes the next completion event: the heap minimum's
+// finish point converted to a delay at the current per-job rate.
 func (r *PSResource) reschedule() {
 	r.eng.Cancel(r.nextDone)
-	r.nextDone = nil
-	n := len(r.jobs)
+	r.nextDone = Event{}
+	n := len(r.heap)
 	if n == 0 {
 		return
 	}
@@ -203,54 +227,54 @@ func (r *PSResource) reschedule() {
 	if perJob <= 0 {
 		panic(fmt.Sprintf("sim: resource %q has non-positive rate at n=%d", r.name, n))
 	}
-	minRemaining := math.Inf(1)
-	for j := range r.jobs {
-		if j.remaining < minRemaining {
-			minRemaining = j.remaining
-		}
+	delay := (r.heap[0].finishV - r.vserv) / perJob
+	if delay < 0 {
+		delay = 0
 	}
-	delay := minRemaining / perJob
-	r.nextDone = r.eng.Schedule(delay, r.completeDue)
+	r.nextDone = r.eng.Schedule(delay, r.completeFn)
 }
 
 // completeDue finishes every job whose remaining service has reached
-// (numerically, nearly reached) zero.
+// (numerically, nearly reached) zero. Due jobs are contiguous at the top
+// of the finishV heap; popping stops at the first non-due minimum.
 func (r *PSResource) completeDue() {
-	r.nextDone = nil
+	r.nextDone = Event{}
 	r.advance()
-	var due []*PSJob
-	var minJob *PSJob
-	for j := range r.jobs {
-		if j.remaining <= dueEpsilon(j.demand) {
-			due = append(due, j)
+	due := r.due[:0]
+	for len(r.heap) > 0 {
+		top := r.heap[0]
+		if top.finishV-r.vserv > dueEpsilon(top.demand) {
+			break
 		}
-		if minJob == nil || j.remaining < minJob.remaining ||
-			(j.remaining == minJob.remaining && j.seq < minJob.seq) {
-			minJob = j
-		}
+		r.jobPopMin()
+		due = append(due, top)
 	}
 	// Guard against float stagnation: this event was scheduled because
 	// some job was predicted to finish now. If rounding left a sliver of
 	// remaining work too small to advance virtual time, force-complete
 	// the closest job rather than re-arming a zero-delay event forever.
-	if len(due) == 0 && minJob != nil {
-		n := len(r.jobs)
+	if len(due) == 0 && len(r.heap) > 0 {
+		n := len(r.heap)
 		perJob := r.capacity(n) * r.disturbance / float64(n)
-		if t := r.eng.Now(); t+minJob.remaining/perJob == t {
-			due = append(due, minJob)
+		top := r.heap[0]
+		if t := r.eng.Now(); t+(top.finishV-r.vserv)/perJob == t {
+			r.jobPopMin()
+			due = append(due, top)
 		}
 	}
-	// Deterministic completion order: by start time, then demand.
+	// Deterministic completion order: by submission sequence.
 	sortJobs(due)
 	for _, j := range due {
-		delete(r.jobs, j)
-		r.servedUnits += j.remaining // epsilon remainder
-		j.remaining = 0
+		// Signed epsilon remainder: tops up the last sliver of a job
+		// retired slightly early, or refunds overshoot past its finish
+		// point, so a completed job is charged exactly its demand.
+		r.servedUnits += j.finishV - r.vserv
 	}
 	r.reschedule()
 	for _, j := range due {
 		r.finish(j)
 	}
+	r.due = due[:0]
 }
 
 // dueEpsilon is the completion slop for a job: absolute 1e-9 units plus
@@ -265,6 +289,7 @@ func (r *PSResource) finish(job *PSJob) {
 		return
 	}
 	job.active = false
+	job.residual = 0
 	r.completed++
 	if job.onDone != nil {
 		job.onDone()
@@ -280,4 +305,93 @@ func sortJobs(js []*PSJob) {
 			js[k], js[k-1] = js[k-1], js[k]
 		}
 	}
+}
+
+// --- specialized job min-heap, ordered by (finishV, seq) ---
+
+func jobLess(a, b *PSJob) bool {
+	if a.finishV != b.finishV {
+		return a.finishV < b.finishV
+	}
+	return a.seq < b.seq
+}
+
+func (r *PSResource) jobPush(j *PSJob) {
+	j.index = int32(len(r.heap))
+	r.heap = append(r.heap, j)
+	r.jobSiftUp(len(r.heap) - 1)
+}
+
+func (r *PSResource) jobPopMin() *PSJob {
+	h := r.heap
+	min := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	r.heap = h[:last]
+	if last > 0 {
+		h[0].index = 0
+		r.jobSiftDown(0)
+	}
+	min.index = -1
+	return min
+}
+
+func (r *PSResource) jobRemove(i int) {
+	h := r.heap
+	last := len(h) - 1
+	j := h[i]
+	if i != last {
+		h[i] = h[last]
+		h[i].index = int32(i)
+	}
+	h[last] = nil
+	r.heap = h[:last]
+	if i < last {
+		if !r.jobSiftDown(i) {
+			r.jobSiftUp(i)
+		}
+	}
+	j.index = -1
+}
+
+func (r *PSResource) jobSiftUp(i int) {
+	h := r.heap
+	j := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !jobLess(j, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = int32(i)
+		i = parent
+	}
+	h[i] = j
+	j.index = int32(i)
+}
+
+func (r *PSResource) jobSiftDown(i int) bool {
+	h := r.heap
+	n := len(h)
+	j := h[i]
+	start := i
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if rc := child + 1; rc < n && jobLess(h[rc], h[child]) {
+			child = rc
+		}
+		if !jobLess(h[child], j) {
+			break
+		}
+		h[i] = h[child]
+		h[i].index = int32(i)
+		i = child
+	}
+	h[i] = j
+	j.index = int32(i)
+	return i > start
 }

@@ -302,3 +302,77 @@ func TestPSDeterministicCompletionOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestPSServedUnitsBitDeterminism pins the fix for the latent
+// nondeterminism in the old map-based PSResource: advance/completeDue
+// iterated a Go map, so the float accumulation order of servedUnits —
+// and hence its rounding — varied run to run. With heap-ordered
+// virtual-service accounting, repeated seeded runs must agree on every
+// bit of the accounting totals.
+func TestPSServedUnitsBitDeterminism(t *testing.T) {
+	run := func(seed int64) (served, busy uint64) {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		curve := func(n int) float64 {
+			if n > 4 {
+				return 85
+			}
+			return 100
+		}
+		r := NewPSResource(e, "disk", curve)
+		var jobs []*PSJob
+		for i := 0; i < 60; i++ {
+			d := 0.5 + rng.Float64()*300
+			at := rng.Float64() * 10
+			e.Schedule(at, func() { jobs = append(jobs, r.Submit(d, nil)) })
+		}
+		for i := 0; i < 8; i++ {
+			at := rng.Float64() * 12
+			e.Schedule(at, func() {
+				if len(jobs) > 0 {
+					r.Abort(jobs[len(jobs)/2])
+				}
+			})
+			e.Schedule(rng.Float64()*12, func() { r.SetDisturbance(0.3 + rng.Float64()) })
+		}
+		e.Run()
+		return math.Float64bits(r.ServedUnits()), math.Float64bits(r.BusyTime())
+	}
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		s1, b1 := run(seed)
+		s2, b2 := run(seed)
+		if s1 != s2 || b1 != b2 {
+			t.Fatalf("seed %d: accounting not bit-identical across runs: served %x vs %x, busy %x vs %x",
+				seed, s1, s2, b1, b2)
+		}
+	}
+}
+
+// TestPSAbortMidHeap exercises removal from the middle of the finishV
+// heap: aborting a job that is neither the next completion nor the last
+// inserted must leave the heap consistent.
+func TestPSAbortMidHeap(t *testing.T) {
+	e := NewEngine()
+	r := NewPSResource(e, "disk", ConstantCapacity(100))
+	var order []int
+	var js []*PSJob
+	for i := 0; i < 9; i++ {
+		i := i
+		js = append(js, r.Submit(float64(50+10*i), func() { order = append(order, i) }))
+	}
+	e.Schedule(0.1, func() { r.Abort(js[4]) })
+	e.Schedule(0.2, func() { r.Abort(js[1]) })
+	e.Run()
+	want := []int{0, 2, 3, 5, 6, 7, 8}
+	if len(order) != len(want) {
+		t.Fatalf("completions %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completion order %v, want %v (shortest demand first)", order, want)
+		}
+	}
+	if r.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after drain, want 0", r.InFlight())
+	}
+}

@@ -203,7 +203,7 @@ type Device struct {
 
 	dirty    float64
 	flushing bool
-	flushEnd *sim.Event
+	flushEnd sim.Event
 }
 
 // NewDevice builds a device from a spec, panicking on invalid specs
