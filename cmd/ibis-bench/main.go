@@ -5,6 +5,14 @@
 //
 //	ibis-bench [-scale 0.125] [-run fig06] [-parallel N] [-list]
 //	           [-cpuprofile out.prof] [-memprofile out.prof]
+//	           [-fault-seed 1 -fault-outages 2 -fault-loss 0.2
+//	            -fault-restarts 2 -fault-degrades 1]
+//
+// The -fault-* flags parameterize the "fault-custom" experiment: a
+// deterministic seed-driven fault schedule (broker outages, message
+// loss/delay, scheduler restarts, device degradation) injected into
+// the coordination plane of the uneven-presence microbenchmark, with
+// invariant auditing on. "fault-matrix" runs the fixed scenario set.
 //
 // Without -run, every experiment executes in order. Experiments are
 // independent deterministic simulations, so -parallel N (default
@@ -23,7 +31,42 @@ import (
 	"sort"
 
 	"ibis/internal/experiments"
+	"ibis/internal/faults"
 )
+
+// Fault-injection flags, consumed by the "fault-custom" experiment.
+var (
+	faultSeed     = flag.Int64("fault-seed", 1, "seed driving generated fault schedules and message-fault rolls")
+	faultOutages  = flag.Int("fault-outages", 1, "generated broker-outage windows")
+	faultLoss     = flag.Float64("fault-loss", 0, "exchange request-drop probability [0,1)")
+	faultDelay    = flag.Float64("fault-delay", 0, "exchange response-delay probability [0,1)")
+	faultRestarts = flag.Int("fault-restarts", 0, "generated scheduler restarts (spread over all clients)")
+	faultDegrades = flag.Int("fault-degrades", 0, "generated device-degradation windows")
+)
+
+// customFaultSpec assembles the Spec the fault flags describe; targets
+// default to every coordination client / HDFS device of the 8-node
+// microbenchmark cluster.
+func customFaultSpec() faults.Spec {
+	ids := faults.ClientIDs(8)
+	devs := make([]string, 0, len(ids)/2)
+	for _, id := range ids {
+		if len(id) > 5 && id[len(id)-4:] == "hdfs" {
+			devs = append(devs, id)
+		}
+	}
+	return faults.Spec{
+		Seed:           *faultSeed,
+		Horizon:        50, // faults land inside the measured run
+		OutageCount:    *faultOutages,
+		DropProb:       *faultLoss,
+		DelayProb:      *faultDelay,
+		RestartCount:   *faultRestarts,
+		RestartTargets: ids,
+		DegradeCount:   *faultDegrades,
+		DegradeTargets: devs,
+	}
+}
 
 func main() {
 	scale := flag.Float64("scale", experiments.DefaultScale, "data scale factor (1 = paper volumes)")
@@ -162,4 +205,7 @@ var extras = []namedExp{
 	{"ext-terasort-sweep", func(s float64) (fmt.Stringer, error) { return experiments.ExtTeraSortSweep(s) }},
 	{"ext-ssd-promotion", func(float64) (fmt.Stringer, error) { return experiments.ExtSSDPromotion() }},
 	{"ext-scalability", func(float64) (fmt.Stringer, error) { return experiments.ExtScalability() }},
+	// Robustness: coordination-plane fault injection.
+	{"fault-matrix", func(float64) (fmt.Stringer, error) { return experiments.FaultMatrix() }},
+	{"fault-custom", func(float64) (fmt.Stringer, error) { return experiments.FaultCustom(customFaultSpec()) }},
 }

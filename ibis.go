@@ -38,11 +38,14 @@ import (
 	"fmt"
 
 	"ibis/internal/audit"
+	"ibis/internal/broker"
 	"ibis/internal/cluster"
 	"ibis/internal/dfs"
+	"ibis/internal/faults"
 	"ibis/internal/hive"
 	"ibis/internal/iosched"
 	"ibis/internal/mapreduce"
+	"ibis/internal/metrics"
 	"ibis/internal/sim"
 	"ibis/internal/storage"
 	"ibis/internal/trace"
@@ -154,7 +157,38 @@ type Config struct {
 	// AuditWindow overrides the proportional-share audit period in
 	// virtual seconds (0 = default 5 s).
 	AuditWindow float64
+
+	// Faults, when non-nil, compiles and injects a deterministic fault
+	// schedule into the coordination plane: broker outages, per-node
+	// partitions, message loss/delay, scheduler restarts, and device
+	// degradation windows, all pure functions of (Faults.Seed, virtual
+	// time). Requires Coordinate for the coordination faults to have a
+	// target; device degradations apply regardless.
+	Faults *FaultSpec
+	// Retry tunes the coordination clients' failure handling (timeouts,
+	// bounded retries with exponential backoff, degradation threshold).
+	// Zero fields take defaults derived from CoordinationPeriod.
+	Retry RetryPolicy
+	// DelayClamp caps the per-arrival DSFQ delay increment in cost
+	// units (0 disables); it bounds how hard a stale burst of remote
+	// totals can penalize a flow after a partition heals.
+	DelayClamp float64
 }
+
+// FaultSpec declares the deterministic fault schedule; see
+// internal/faults.Spec.
+type FaultSpec = faults.Spec
+
+// FaultWindow is a [start, end) virtual-time interval.
+type FaultWindow = faults.Window
+
+// RetryPolicy tunes coordination-client failure handling; see
+// internal/broker.RetryPolicy.
+type RetryPolicy = broker.RetryPolicy
+
+// CoordinationHealth aggregates the coordination plane's
+// failure-handling counters; see internal/metrics.
+type CoordinationHealth = metrics.CoordinationHealth
 
 // Tracer is the request-level lifecycle trace buffer; see
 // internal/trace.
@@ -186,6 +220,10 @@ func New(cfg Config) (*Simulation, error) {
 	if cfg.SSD {
 		disk = storage.SSDSpec()
 	}
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj = faults.New(*cfg.Faults)
+	}
 	cl, err := cluster.New(eng, cluster.Config{
 		Nodes:              cfg.Nodes,
 		CoresPerNode:       cfg.CoresPerNode,
@@ -200,6 +238,9 @@ func New(cfg Config) (*Simulation, error) {
 		ScheduleNetwork:    cfg.ScheduleNetwork,
 		Coordinate:         cfg.Coordinate,
 		CoordinationPeriod: cfg.CoordinationPeriod,
+		Faults:             inj,
+		Retry:              cfg.Retry,
+		DelayClamp:         cfg.DelayClamp,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ibis: %w", err)
@@ -223,6 +264,10 @@ func New(cfg Config) (*Simulation, error) {
 		if cl.Broker != nil {
 			s.au.AttachBroker(cl.Broker)
 		}
+		// Switch audit regimes in lockstep with client degradation:
+		// local checks relax to the degraded variant, the total-share
+		// check is suspended until K periods after recovery.
+		cl.SetDegradeObserver(s.au.NoteDegradeStart, s.au.NoteDegradeEnd)
 	}
 	if s.tr != nil || s.au != nil {
 		cl.Instrument(func(node int, dev string, sched iosched.Scheduler) iosched.Probe {
@@ -306,6 +351,16 @@ func (s *Simulation) Jobs() []*Job { return s.rt.Jobs() }
 
 // TotalCores returns the cluster's CPU slot count.
 func (s *Simulation) TotalCores() int { return s.cl.TotalCores() }
+
+// CoordinationHealth returns the merged failure-handling counters of
+// every coordination client (all zero without coordination).
+func (s *Simulation) CoordinationHealth() CoordinationHealth {
+	return s.cl.CoordinationHealth()
+}
+
+// Cluster exposes the underlying cluster for advanced fault scripting
+// (detaching nodes, retiring apps, inspecting clients).
+func (s *Simulation) Cluster() *cluster.Cluster { return s.cl }
 
 // BrokerTotal returns the cluster-wide cumulative I/O service (cost
 // units) the Scheduling Broker has recorded for an app; zero without

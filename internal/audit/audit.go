@@ -68,6 +68,10 @@ type Options struct {
 	// used to size the staleness allowance of the cluster-level share
 	// check (default 1, matching the paper's heartbeat piggyback).
 	CoordinationPeriod float64
+	// RecoveryPeriods is K: how many coordination periods after a
+	// degraded scheduler recovers the cluster-level share bound is
+	// still relaxed before it must re-tighten (default 5).
+	RecoveryPeriods int
 	// MaxViolations caps stored violations; excess ones are counted
 	// but dropped (default 256).
 	MaxViolations int
@@ -88,6 +92,9 @@ func (o *Options) defaults() {
 	}
 	if o.CoordinationPeriod <= 0 {
 		o.CoordinationPeriod = 1
+	}
+	if o.RecoveryPeriods <= 0 {
+		o.RecoveryPeriods = 5
 	}
 	if o.MaxViolations <= 0 {
 		o.MaxViolations = 256
@@ -125,18 +132,34 @@ func (v Violation) String() string {
 type Auditor struct {
 	opts       Options
 	scheds     []*schedState
+	byKey      map[string]*schedState
 	cluster    *clusterState
 	brokers    []*broker.Broker
 	violations []Violation
 	dropped    uint64
 	checks     map[string]uint64
 	lastTime   float64
+
+	// Degradation bookkeeping (see NoteDegradeStart): skips are the
+	// cluster-level relaxation intervals — each degraded stretch plus
+	// K recovery periods of grace — and openSkips tracks the interval
+	// each currently-degraded scheduler opened.
+	skips     []span
+	openSkips map[string]int
 }
+
+// span is a virtual-time interval; to is +Inf while still open.
+type span struct{ from, to float64 }
 
 // New creates an auditor.
 func New(opts Options) *Auditor {
 	opts.defaults()
-	return &Auditor{opts: opts, checks: make(map[string]uint64)}
+	return &Auditor{
+		opts:      opts,
+		byKey:     make(map[string]*schedState),
+		checks:    make(map[string]uint64),
+		openSkips: make(map[string]int),
+	}
 }
 
 // Probe returns the lifecycle probe auditing one scheduler, labeled
@@ -167,7 +190,62 @@ func (a *Auditor) Probe(node int, dev string, sched iosched.Scheduler) iosched.P
 		a.cluster.members++
 	}
 	a.scheds = append(a.scheds, s)
+	a.byKey[schedKey(node, dev)] = s
 	return s
+}
+
+func schedKey(node int, dev string) string { return fmt.Sprintf("%d/%s", node, dev) }
+
+// NoteDegradeStart records that the scheduler at (node, dev) suspended
+// DSFQ coordination at time t. The auditor switches invariant regimes
+// for it: the cluster-wide total-share bound stops applying (the
+// degraded member no longer tracks remote service), the *local*
+// proportional-share bound starts applying to it (the guarantee
+// degradation preserves), and per-flow start-tag monotonicity is reset
+// once — suspension clamps accumulated delay-rule debt down to the
+// scheduler's virtual time, which legitimately regresses tags at that
+// single instant.
+func (a *Auditor) NoteDegradeStart(node int, dev string, t float64) {
+	a.count("degrade-noted")
+	if s := a.byKey[schedKey(node, dev)]; s != nil {
+		s.degraded = append(s.degraded, span{from: t, to: math.Inf(1)})
+		for _, f := range s.flows {
+			f.lastStart = 0
+		}
+	}
+	key := schedKey(node, dev)
+	a.openSkips[key] = len(a.skips)
+	a.skips = append(a.skips, span{from: t, to: math.Inf(1)})
+}
+
+// NoteDegradeEnd records recovery at time t. The scheduler's local
+// degraded regime ends immediately; the cluster-level bound stays
+// relaxed for K = RecoveryPeriods coordination periods more, after
+// which total-service proportionality must re-tighten.
+func (a *Auditor) NoteDegradeEnd(node int, dev string, t float64) {
+	a.count("recover-noted")
+	if s := a.byKey[schedKey(node, dev)]; s != nil {
+		if n := len(s.degraded); n > 0 && math.IsInf(s.degraded[n-1].to, 1) {
+			s.degraded[n-1].to = t
+		}
+	}
+	key := schedKey(node, dev)
+	if idx, ok := a.openSkips[key]; ok {
+		grace := float64(a.opts.RecoveryPeriods) * a.opts.CoordinationPeriod
+		a.skips[idx].to = t + grace
+		delete(a.openSkips, key)
+	}
+}
+
+// skipWindow reports whether [ws, we) overlaps any cluster-level
+// relaxation interval.
+func (a *Auditor) skipWindow(ws, we float64) bool {
+	for _, sp := range a.skips {
+		if sp.from < we && ws < sp.to {
+			return true
+		}
+	}
+	return false
 }
 
 // AttachBroker audits service conservation on every exchange of b.
@@ -299,6 +377,22 @@ type schedState struct {
 	windowStart float64
 	maxDepth    int // max depth seen this window
 	flows       map[iosched.AppID]*flowAudit
+	// degraded intervals (NoteDegradeStart/End): while one is open the
+	// scheduler runs pure local SFQ(D), so local proportional sharing
+	// is checked even though the scheduler is nominally coordinated.
+	degraded []span
+}
+
+// fullyDegraded reports whether [ws, we) lies inside one degraded
+// interval — only then was every completion in the window produced
+// under pure local fairness.
+func (s *schedState) fullyDegraded(ws, we float64) bool {
+	for _, sp := range s.degraded {
+		if ws >= sp.from && we <= sp.to {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *schedState) flow(app iosched.AppID) *flowAudit {
@@ -442,7 +536,17 @@ func (s *schedState) closeWindow() {
 			f.zeroSince = end
 		}
 	}
-	if s.sfq && !s.coordinated {
+	invariant := ""
+	switch {
+	case s.sfq && !s.coordinated:
+		invariant = "proportional-share"
+	case s.sfq && s.coordinated && s.fullyDegraded(s.windowStart, end):
+		// Degradation's contract: with the delay rule suspended the
+		// scheduler is a plain local SFQ(D), so the per-node bound
+		// applies for windows spent fully degraded.
+		invariant = "proportional-share-degraded"
+	}
+	if invariant != "" {
 		maxZero := w * s.a.opts.BacklogSlack
 		apps := make([]iosched.AppID, 0, len(s.flows))
 		for app, f := range s.flows {
@@ -458,12 +562,12 @@ func (s *schedState) closeWindow() {
 		for i := 0; i < len(apps); i++ {
 			for j := i + 1; j < len(apps); j++ {
 				fi, fj := s.flows[apps[i]], s.flows[apps[j]]
-				s.a.count("proportional-share")
+				s.a.count(invariant)
 				ri, rj := fi.service/fi.weight, fj.service/fj.weight
 				bound := float64(d+1) * (fi.maxUnit + fj.maxUnit) * (1 + s.a.opts.ShareSlack)
 				if diff := math.Abs(ri - rj); diff > bound {
 					s.a.violate(Violation{
-						Time: s.windowStart + s.a.opts.Window, Invariant: "proportional-share",
+						Time: s.windowStart + s.a.opts.Window, Invariant: invariant,
 						Node: s.node, Dev: s.dev, App: apps[i],
 						Detail: fmt.Sprintf("window [%.1fs,%.1fs): normalized service %s=%.4g vs %s=%.4g, |diff| %.4g > bound %.4g (D=%d)",
 							s.windowStart, s.windowStart+s.a.opts.Window, apps[i], ri, apps[j], rj, math.Abs(ri-rj), bound, d),
@@ -620,7 +724,16 @@ func (c *clusterState) closeWindow() {
 	if d < 1 {
 		d = 1
 	}
-	for i := 0; i < len(apps); i++ {
+	// While any member is degraded — and for K recovery periods after —
+	// the delay functions are allowed to be stale, so the cluster-wide
+	// bound is suspended (it relaxes to the per-node bounds the
+	// degraded schedulers are checked against). Past the grace the
+	// window is checked again: reconvergence must actually happen.
+	skipped := c.a.skipWindow(c.windowStart, end)
+	if skipped && len(apps) > 0 {
+		c.a.count("total-proportional-share-skipped")
+	}
+	for i := 0; i < len(apps) && !skipped; i++ {
 		for j := i + 1; j < len(apps); j++ {
 			if !intersects(sets[apps[i]], sets[apps[j]]) {
 				continue

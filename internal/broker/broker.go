@@ -10,13 +10,39 @@
 // heartbeats; here the exchange is modeled as a periodic call whose
 // message sizes are accounted so the coordination overhead claims remain
 // measurable.
+//
+// The exchange path is failure-aware: a Transport carries the round
+// trips and may fail (broker outage, message loss) or delay responses.
+// The Client reacts with bounded retries under exponential backoff, and
+// when exchanges keep failing for at least one coordination period it
+// degrades gracefully — suspending the DSFQ delay rule so the local
+// scheduler falls back to pure local SFQ(D) fairness — then reconciles
+// on recovery via the idempotent cumulative vectors. Scheduler restarts
+// wipe the client's in-memory view and force an explicit re-register
+// handshake before exchanges resume.
 package broker
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"sort"
 
 	"ibis/internal/iosched"
+	"ibis/internal/metrics"
 	"ibis/internal/sim"
+)
+
+// Transport errors. ErrUnavailable means the broker could not be
+// reached at all (outage or partition); ErrLost means a message was
+// dropped in flight — the broker may or may not have applied the
+// report, which the cumulative protocol makes safe to retry; ErrTimeout
+// is synthesized by the client when a response outlives the retry
+// policy's timeout.
+var (
+	ErrUnavailable = errors.New("broker: unavailable")
+	ErrLost        = errors.New("broker: message lost")
+	ErrTimeout     = errors.New("broker: exchange timed out")
 )
 
 // Stats tracks coordination traffic for overhead accounting.
@@ -43,8 +69,13 @@ func (s Stats) BytesApprox() uint64 {
 type Broker struct {
 	reports map[string]map[iosched.AppID]float64
 	totals  map[iosched.AppID]float64
-	stats   Stats
-	probe   Probe
+	retired map[iosched.AppID]bool
+	// finals are tombstones: the cluster-wide total each retired app
+	// had at retirement. They keep the service observable (Total)
+	// after cleanup without participating in exchanges.
+	finals map[iosched.AppID]float64
+	stats  Stats
+	probe  Probe
 }
 
 // Probe observes each completed exchange: the reporting scheduler's id
@@ -61,6 +92,8 @@ func New() *Broker {
 	return &Broker{
 		reports: make(map[string]map[iosched.AppID]float64),
 		totals:  make(map[iosched.AppID]float64),
+		retired: make(map[iosched.AppID]bool),
+		finals:  make(map[iosched.AppID]float64),
 	}
 }
 
@@ -68,28 +101,110 @@ func New() *Broker {
 // reports its cumulative per-app service (cost units) and receives the
 // cluster-wide totals for exactly the apps it reported — the response
 // "is bounded by the number of applications that the scheduler
-// currently serves".
+// currently serves". The response is a fresh map each call; mutating it
+// (or the request vector, afterwards) cannot corrupt broker state.
+// Retired apps are skipped in both directions: their pruned state must
+// not be resurrected by the stale entries local accounting still
+// carries.
 func (b *Broker) Exchange(scheduler string, vector map[iosched.AppID]float64) map[iosched.AppID]float64 {
 	prev := b.reports[scheduler]
 	if prev == nil {
 		prev = make(map[iosched.AppID]float64)
 		b.reports[scheduler] = prev
 	}
+	up := 0
 	for app, cum := range vector {
+		if b.retired[app] {
+			continue
+		}
 		b.totals[app] += cum - prev[app]
 		prev[app] = cum
+		up++
 	}
-	resp := make(map[iosched.AppID]float64, len(vector))
+	resp := make(map[iosched.AppID]float64, up)
 	for app := range vector {
+		if b.retired[app] {
+			continue
+		}
 		resp[app] = b.totals[app]
 	}
 	b.stats.Exchanges++
-	b.stats.EntriesUp += uint64(len(vector))
+	b.stats.EntriesUp += uint64(up)
 	b.stats.EntriesDown += uint64(len(resp))
 	if b.probe != nil {
 		b.probe(scheduler, b)
 	}
 	return resp
+}
+
+// Register ensures the scheduler has a report slot. It is idempotent —
+// re-registration after a scheduler restart keeps the previous
+// cumulative vector, which is exactly what makes the restarted
+// client's full re-report apply as a no-op delta.
+func (b *Broker) Register(scheduler string) {
+	if b.reports[scheduler] == nil {
+		b.reports[scheduler] = make(map[iosched.AppID]float64)
+	}
+}
+
+// Unregister removes a scheduler (a dead node's device): its last
+// reported vector is subtracted from the totals so the dead node's
+// service stops counting forever, and per-app totals no longer backed
+// by any live report are pruned.
+func (b *Broker) Unregister(scheduler string) {
+	vec, ok := b.reports[scheduler]
+	if !ok {
+		return
+	}
+	delete(b.reports, scheduler)
+	for app, cum := range vec {
+		b.totals[app] -= cum
+	}
+	b.pruneUnbacked()
+}
+
+// Retire drops an application that finished: its entries are pruned
+// from every report and from the totals, and further exchanges skip it
+// (local accounting never forgets an app, so without the skip the next
+// report would resurrect the full cumulative value). The final total is
+// kept as a tombstone so the app's cluster-wide service stays
+// observable through Total after cleanup.
+func (b *Broker) Retire(app iosched.AppID) {
+	if b.retired[app] {
+		return
+	}
+	b.retired[app] = true
+	b.finals[app] = b.totals[app]
+	for _, vec := range b.reports {
+		delete(vec, app)
+	}
+	delete(b.totals, app)
+}
+
+// Revive reverses Retire for an application that starts doing I/O again
+// (e.g. a later stage of a multi-stage query reusing the app id). The
+// next exchanges re-add each scheduler's full cumulative service — the
+// idempotent protocol restores a consistent total.
+func (b *Broker) Revive(app iosched.AppID) { delete(b.retired, app) }
+
+// Retired reports whether the app is currently retired.
+func (b *Broker) Retired(app iosched.AppID) bool { return b.retired[app] }
+
+// pruneUnbacked deletes totals entries for apps present in no report.
+// Their remaining value is float residue from subtraction, not service.
+func (b *Broker) pruneUnbacked() {
+	for app := range b.totals {
+		backed := false
+		for _, vec := range b.reports {
+			if _, ok := vec[app]; ok {
+				backed = true
+				break
+			}
+		}
+		if !backed {
+			delete(b.totals, app)
+		}
+	}
 }
 
 // ReportedTotals sums the latest per-scheduler service vectors per app —
@@ -105,8 +220,15 @@ func (b *Broker) ReportedTotals() map[iosched.AppID]float64 {
 	return sums
 }
 
-// Total returns the cluster-wide cumulative service for one app.
-func (b *Broker) Total(app iosched.AppID) float64 { return b.totals[app] }
+// Total returns the cluster-wide cumulative service for one app. For a
+// retired app this is its tombstoned final total (a revived app
+// resumes live accounting at its first exchange).
+func (b *Broker) Total(app iosched.AppID) float64 {
+	if v, ok := b.totals[app]; ok {
+		return v
+	}
+	return b.finals[app]
+}
 
 // Apps returns all known apps, sorted.
 func (b *Broker) Apps() []iosched.AppID {
@@ -115,6 +237,16 @@ func (b *Broker) Apps() []iosched.AppID {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Schedulers returns the registered scheduler ids, sorted.
+func (b *Broker) Schedulers() []string {
+	ids := make([]string, 0, len(b.reports))
+	for id := range b.reports {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	return ids
 }
 
@@ -127,64 +259,532 @@ type Reporter interface {
 	CostVector() map[iosched.AppID]float64
 }
 
+// Transport carries the coordination round trips. Implementations may
+// fail or delay them; the direct in-process transport never does.
+type Transport interface {
+	// Exchange performs one report/response round trip. rtt is the
+	// virtual-time delay until the response reaches the client (0 =
+	// instantaneous, applied synchronously). On error no response is
+	// delivered; the broker may or may not have applied the report
+	// (response loss) — retrying is safe because vectors are
+	// cumulative.
+	Exchange(id string, vector map[iosched.AppID]float64) (resp map[iosched.AppID]float64, rtt float64, err error)
+	// Register performs the (re-)registration handshake.
+	Register(id string) (rtt float64, err error)
+	// Unregister removes the scheduler's report from the broker. It
+	// models out-of-band node-death detection (YARN's liveness
+	// tracking), so it is not subject to message faults.
+	Unregister(id string)
+}
+
+// directTransport is the perfectly reliable, instantaneous in-process
+// transport the pre-fault broker modeled.
+type directTransport struct{ b *Broker }
+
+// NewDirectTransport wraps a broker in the reliable transport.
+func NewDirectTransport(b *Broker) Transport { return directTransport{b} }
+
+func (d directTransport) Exchange(id string, vec map[iosched.AppID]float64) (map[iosched.AppID]float64, float64, error) {
+	return d.b.Exchange(id, vec), 0, nil
+}
+
+func (d directTransport) Register(id string) (float64, error) { d.b.Register(id); return 0, nil }
+
+func (d directTransport) Unregister(id string) { d.b.Unregister(id) }
+
+// RetryPolicy tunes the client's failure handling. The zero value takes
+// defaults derived from the coordination period.
+type RetryPolicy struct {
+	// MaxRetries bounds re-attempts per round after the first failure
+	// (default 3; negative disables retries).
+	MaxRetries int
+	// BaseBackoff is the first retry delay; each further retry doubles
+	// it up to MaxBackoff (defaults period/20 and period/4).
+	BaseBackoff float64
+	MaxBackoff  float64
+	// JitterFrac adds up to this fraction of the backoff as
+	// deterministic jitter, decorrelating clients (default 0.25).
+	JitterFrac float64
+	// Timeout is how long the client waits for a response before
+	// declaring the attempt dead (default period/4). Responses arriving
+	// later are discarded.
+	Timeout float64
+	// DegradeAfter is how long exchanges must keep failing before the
+	// client suspends the DSFQ delay rule and falls back to local
+	// fairness (default one period, per the paper's staleness bound).
+	DegradeAfter float64
+}
+
+func (p RetryPolicy) withDefaults(period float64) RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = period / 20
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = period / 4
+	}
+	if p.JitterFrac <= 0 {
+		p.JitterFrac = 0.25
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = period / 4
+	}
+	if p.DegradeAfter <= 0 {
+		p.DegradeAfter = period
+	}
+	return p
+}
+
+// ClientState is the client's position in the degradation state
+// machine.
+type ClientState int
+
+const (
+	// StateHealthy: exchanges are succeeding; the delay rule is live.
+	StateHealthy ClientState = iota
+	// StateRetrying: exchanges are failing but the failure stretch is
+	// still shorter than DegradeAfter; the delay rule runs on the last
+	// good totals.
+	StateRetrying
+	// StateDegraded: coordination is suspended; the scheduler enforces
+	// pure local SFQ(D) fairness until an exchange succeeds.
+	StateDegraded
+)
+
+// String names the state.
+func (s ClientState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateRetrying:
+		return "retrying"
+	case StateDegraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("ClientState(%d)", int(s))
+	}
+}
+
+// ClientOptions configure NewClientWithOptions.
+type ClientOptions struct {
+	// Transport carries the exchanges; nil means the client never
+	// coordinates (the paper's "No Sync").
+	Transport Transport
+	// Period is the coordination period in seconds (default 1).
+	Period float64
+	// Retry tunes failure handling; zero fields take period-derived
+	// defaults.
+	Retry RetryPolicy
+}
+
 // Client performs the periodic exchange for one local scheduler and
 // implements iosched.Coordinator: OtherService(app) returns the service
 // the app has received on all *other* nodes, per the broker's latest
-// response. A Client with a nil broker never coordinates (No Sync).
+// applied response. A Client with a nil transport never coordinates
+// (No Sync).
 type Client struct {
-	id       string
-	broker   *Broker
-	reporter Reporter
-	other    map[iosched.AppID]float64
-	rounds   uint64
+	id        string
+	transport Transport
+	reporter  Reporter
+	eng       *sim.Engine
+	period    float64
+	policy    RetryPolicy
+
+	other  map[iosched.AppID]float64
+	rounds uint64
+
+	sched     *iosched.SFQ
+	onDegrade func(t float64)
+	onRecover func(t float64)
+
+	state        ClientState
+	failingSince float64 // start of the current failure stretch; -1 when none
+	degradedAt   float64
+	attempt      int  // retries consumed in the current round
+	inRound      bool // a round (or its retries/timeout) is outstanding
+	needRegister bool
+	detached     bool
+
+	// epoch obsoletes in-flight continuations across restart/detach;
+	// the (nextSeq, appliedHi) pair discards out-of-order responses.
+	epoch     uint64
+	nextSeq   uint64
+	appliedHi uint64
+
+	retryEv sim.Event
+
+	health metrics.CoordinationHealth
 }
 
 var _ iosched.Coordinator = (*Client)(nil)
 
-// NewClient wires a scheduler's accounting into the broker with the
-// given coordination period (seconds; the paper uses 1 s, piggybacked on
-// heartbeats). The periodic exchange is a daemon event: it does not keep
-// the simulation alive once the workload drains.
+// NewClient wires a scheduler's accounting into the broker over the
+// reliable direct transport with the given coordination period
+// (seconds; the paper uses 1 s, piggybacked on heartbeats). The
+// periodic exchange is a daemon event: it does not keep the simulation
+// alive once the workload drains.
 func NewClient(eng *sim.Engine, b *Broker, id string, reporter Reporter, period float64) *Client {
+	var tr Transport
+	if b != nil {
+		tr = directTransport{b}
+	}
+	return NewClientWithOptions(eng, id, reporter, ClientOptions{Transport: tr, Period: period})
+}
+
+// NewClientWithOptions is NewClient with an explicit transport and
+// retry policy.
+func NewClientWithOptions(eng *sim.Engine, id string, reporter Reporter, opts ClientOptions) *Client {
+	period := opts.Period
 	if period <= 0 {
 		period = 1
 	}
 	c := &Client{
-		id:       id,
-		broker:   b,
-		reporter: reporter,
-		other:    make(map[iosched.AppID]float64),
+		id:           id,
+		transport:    opts.Transport,
+		reporter:     reporter,
+		eng:          eng,
+		period:       period,
+		policy:       opts.Retry.withDefaults(period),
+		other:        make(map[iosched.AppID]float64),
+		failingSince: -1,
+		nextSeq:      1,
 	}
 	var tick func()
 	tick = func() {
-		c.ExchangeNow()
-		eng.ScheduleDaemon(period, tick)
+		c.tick()
+		if !c.detached {
+			eng.ScheduleDaemon(period, tick)
+		}
 	}
 	eng.ScheduleDaemon(period, tick)
 	return c
 }
 
-// ExchangeNow performs one immediate report/response round trip.
-func (c *Client) ExchangeNow() {
-	if c.broker == nil {
+// BindScheduler links the client to its local SFQ scheduler so
+// degradation can suspend and resume the DSFQ delay rule.
+func (c *Client) BindScheduler(s *iosched.SFQ) { c.sched = s }
+
+// SetOnDegrade installs a callback fired when the client enters the
+// degraded state (for audit wiring).
+func (c *Client) SetOnDegrade(fn func(t float64)) { c.onDegrade = fn }
+
+// SetOnRecover installs a callback fired when a degraded client
+// recovers.
+func (c *Client) SetOnRecover(fn func(t float64)) { c.onRecover = fn }
+
+// tick is the periodic coordination round.
+func (c *Client) tick() {
+	if c.transport == nil || c.detached {
 		return
 	}
+	if c.inRound {
+		// The previous round is still retrying or awaiting a response;
+		// don't stack rounds on a struggling broker — but keep the
+		// degradation clock honest.
+		c.health.SkippedRounds++
+		c.maybeDegrade(c.eng.Now())
+		return
+	}
+	c.beginRound()
+}
+
+// ExchangeNow performs one immediate round trip (a no-op while a round
+// is already outstanding).
+func (c *Client) ExchangeNow() {
+	if c.transport == nil || c.detached || c.inRound {
+		return
+	}
+	c.beginRound()
+}
+
+func (c *Client) beginRound() {
+	c.inRound = true
+	c.attempt = 0
+	c.sendAttempt()
+}
+
+// sendAttempt issues one exchange (or re-register handshake) attempt.
+func (c *Client) sendAttempt() {
+	if c.detached {
+		c.inRound = false
+		return
+	}
+	if c.needRegister {
+		c.sendRegister()
+		return
+	}
+	now := c.eng.Now()
+	seq := c.nextSeq
+	c.nextSeq++
+	c.health.Attempts++
 	vec := c.reporter.CostVector()
-	totals := c.broker.Exchange(c.id, vec)
-	for app, total := range totals {
+	resp, rtt, err := c.transport.Exchange(c.id, vec)
+	if err != nil {
+		c.fail(now)
+		return
+	}
+	if rtt <= 0 {
+		c.appliedHi = seq
+		c.apply(vec, resp, now)
+		return
+	}
+	epoch := c.epoch
+	if rtt > c.policy.Timeout {
+		// The response will arrive after the client gave up on it:
+		// count the timeout when the policy says so, and the stale
+		// drop when the late response lands.
+		c.health.Timeouts++
+		c.eng.ScheduleDaemon(rtt, func() {
+			if c.epoch == epoch {
+				c.health.StaleDrops++
+			}
+		})
+		c.eng.ScheduleDaemon(c.policy.Timeout, func() {
+			if c.epoch == epoch {
+				c.fail(c.eng.Now())
+			}
+		})
+		return
+	}
+	c.eng.ScheduleDaemon(rtt, func() {
+		if c.epoch != epoch || seq <= c.appliedHi {
+			c.health.StaleDrops++
+			return
+		}
+		c.appliedHi = seq
+		c.apply(vec, resp, c.eng.Now())
+	})
+}
+
+// sendRegister performs the explicit post-restart handshake; on success
+// it chains straight into a normal exchange to re-seed the client's
+// remote-service view.
+func (c *Client) sendRegister() {
+	now := c.eng.Now()
+	c.health.Attempts++
+	rtt, err := c.transport.Register(c.id)
+	if err != nil {
+		c.fail(now)
+		return
+	}
+	epoch := c.epoch
+	finish := func() {
+		if c.epoch != epoch {
+			c.health.StaleDrops++
+			return
+		}
+		c.needRegister = false
+		c.health.ReRegisters++
+		c.attempt = 0
+		c.sendAttempt()
+	}
+	if rtt <= 0 {
+		finish()
+		return
+	}
+	if rtt > c.policy.Timeout {
+		c.health.Timeouts++
+		c.eng.ScheduleDaemon(rtt, func() {
+			if c.epoch == epoch {
+				c.health.StaleDrops++
+			}
+		})
+		c.eng.ScheduleDaemon(c.policy.Timeout, func() {
+			if c.epoch == epoch {
+				c.fail(c.eng.Now())
+			}
+		})
+		return
+	}
+	c.eng.ScheduleDaemon(rtt, finish)
+}
+
+// apply folds a successful response into the client's remote-service
+// view and completes the round.
+func (c *Client) apply(vec, resp map[iosched.AppID]float64, now float64) {
+	for app, total := range resp {
 		other := total - vec[app]
 		if other < 0 {
 			other = 0
 		}
 		c.other[app] = other
 	}
+	// Prune entries the broker no longer returns (retired apps) so
+	// long-lived clients don't leak vector entries.
+	for app := range c.other {
+		if _, ok := resp[app]; !ok {
+			delete(c.other, app)
+		}
+	}
 	c.rounds++
+	c.health.Successes++
+	c.noteSuccess(now)
 }
+
+func (c *Client) noteSuccess(now float64) {
+	c.inRound = false
+	c.attempt = 0
+	c.failingSince = -1
+	wasDegraded := c.state == StateDegraded
+	c.state = StateHealthy
+	if wasDegraded {
+		c.health.Recoveries++
+		c.health.DegradedTime += now - c.degradedAt
+		// Resume with a resync: the scheduler re-snapshots the fresh
+		// remote totals per flow instead of charging the whole outage's
+		// accumulated delta — the stale-total clamp that keeps a
+		// returning node from being starved.
+		if c.sched != nil {
+			c.sched.ResumeCoordination()
+		}
+		if c.onRecover != nil {
+			c.onRecover(now)
+		}
+	}
+}
+
+// fail handles one failed attempt: backoff-retry while the budget
+// lasts, then abandon the round to the next periodic tick.
+func (c *Client) fail(now float64) {
+	c.health.Failures++
+	if c.failingSince < 0 {
+		c.failingSince = now
+		if c.state == StateHealthy {
+			c.state = StateRetrying
+		}
+	}
+	c.maybeDegrade(now)
+	if c.attempt < c.policy.MaxRetries {
+		c.attempt++
+		c.health.Retries++
+		epoch := c.epoch
+		c.retryEv = c.eng.ScheduleDaemon(c.backoff(c.attempt), func() {
+			if c.epoch == epoch {
+				c.sendAttempt()
+			}
+		})
+		return
+	}
+	c.inRound = false
+	c.health.SkippedRounds++
+}
+
+// backoff returns the delay before retry `attempt` (1-based):
+// exponential from BaseBackoff, capped at MaxBackoff, plus
+// deterministic jitter hashed from (client id, attempt sequence).
+func (c *Client) backoff(attempt int) float64 {
+	d := c.policy.BaseBackoff * math.Pow(2, float64(attempt-1))
+	if d > c.policy.MaxBackoff {
+		d = c.policy.MaxBackoff
+	}
+	return d + c.policy.JitterFrac*d*hash01(c.id, c.nextSeq)
+}
+
+func (c *Client) maybeDegrade(now float64) {
+	if c.state == StateDegraded || c.failingSince < 0 {
+		return
+	}
+	if now-c.failingSince < c.policy.DegradeAfter-1e-12 {
+		return
+	}
+	c.degrade(now)
+}
+
+func (c *Client) degrade(now float64) {
+	c.state = StateDegraded
+	c.degradedAt = now
+	c.health.Degradations++
+	if c.sched != nil {
+		c.sched.SuspendCoordination()
+	}
+	if c.onDegrade != nil {
+		c.onDegrade(now)
+	}
+}
+
+// Restart models the scheduler process restarting: the client's
+// in-memory view of remote service is wiped, in-flight continuations
+// (retries, delayed responses) are obsoleted, and the client must
+// complete an explicit re-register handshake before exchanging again.
+// Until that succeeds the client runs degraded — a freshly restarted
+// node has no basis for the delay rule.
+func (c *Client) Restart() {
+	if c.detached || c.transport == nil {
+		return
+	}
+	now := c.eng.Now()
+	c.health.Restarts++
+	c.epoch++
+	c.eng.Cancel(c.retryEv)
+	c.other = make(map[iosched.AppID]float64)
+	c.inRound = false
+	c.attempt = 0
+	c.needRegister = true
+	if c.failingSince < 0 {
+		c.failingSince = now
+	}
+	if c.state != StateDegraded {
+		c.degrade(now)
+	}
+	// The restarted process comes straight back up and re-registers
+	// (subject to whatever faults the transport injects).
+	c.beginRound()
+}
+
+// Detach permanently removes the client from coordination: ticks stop,
+// in-flight continuations are obsoleted, and the broker unregisters
+// the scheduler so a dead node's last vector stops counting toward the
+// totals forever.
+func (c *Client) Detach() {
+	if c.detached {
+		return
+	}
+	c.detached = true
+	c.epoch++
+	c.eng.Cancel(c.retryEv)
+	c.inRound = false
+	if c.transport != nil {
+		c.transport.Unregister(c.id)
+	}
+}
+
+// Detached reports whether the client has been permanently detached.
+func (c *Client) Detached() bool { return c.detached }
 
 // OtherService implements iosched.Coordinator.
 func (c *Client) OtherService(app iosched.AppID) float64 {
 	return c.other[app]
 }
 
-// Rounds returns the number of exchanges performed.
+// Rounds returns the number of successful exchanges applied.
 func (c *Client) Rounds() uint64 { return c.rounds }
+
+// State returns the client's degradation state.
+func (c *Client) State() ClientState { return c.state }
+
+// ID returns the scheduler id the client reports as.
+func (c *Client) ID() string { return c.id }
+
+// Health returns a copy of the fault-tolerance counters. For a client
+// currently degraded, DegradedTime excludes the open interval.
+func (c *Client) Health() metrics.CoordinationHealth { return c.health }
+
+// hash01 maps (id, n) to [0,1) via FNV-1a into a splitmix64 finalizer —
+// a pure function so jitter never perturbs determinism.
+func hash01(id string, n uint64) float64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return float64(splitmix64(h^n)>>11) / float64(1<<53)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

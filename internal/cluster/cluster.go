@@ -12,7 +12,9 @@ import (
 
 	"ibis/internal/broker"
 	"ibis/internal/cgroups"
+	"ibis/internal/faults"
 	"ibis/internal/iosched"
+	"ibis/internal/metrics"
 	"ibis/internal/sim"
 	"ibis/internal/storage"
 )
@@ -108,6 +110,18 @@ type Config struct {
 	// CoordinationPeriod is the broker exchange period in seconds
 	// (default 1, piggybacked on heartbeats in the prototype).
 	CoordinationPeriod float64
+	// Faults, when non-nil, injects the compiled fault schedule into
+	// the coordination plane: exchanges flow through a faulty
+	// transport, scheduler restarts and device-degradation windows are
+	// armed on the engine. Nil keeps the reliable direct transport —
+	// the pre-fault fast path.
+	Faults *faults.Injector
+	// Retry tunes the clients' failure handling; zero fields take
+	// defaults derived from CoordinationPeriod.
+	Retry broker.RetryPolicy
+	// DelayClamp caps the per-arrival DSFQ delay increment (cost
+	// units; 0 disables). See iosched.SFQ.SetDelayClamp.
+	DelayClamp float64
 }
 
 func (c *Config) defaults() {
@@ -189,6 +203,19 @@ type Cluster struct {
 	Nodes  []*Node
 	Broker *broker.Broker
 	cfg    Config
+
+	transport broker.Transport
+	clients   []ClientRef
+	byID      map[string]*broker.Client
+	devByName map[string]*storage.Device
+}
+
+// ClientRef locates one coordination client: the node index, the
+// device label ("hdfs"/"local"), and the client itself.
+type ClientRef struct {
+	Node int
+	Dev  string
+	C    *broker.Client
 }
 
 // observable is satisfied by every scheduler implementation.
@@ -221,9 +248,14 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		}
 	}
 
-	c := &Cluster{Eng: eng, cfg: cfg}
+	c := &Cluster{Eng: eng, cfg: cfg, byID: make(map[string]*broker.Client), devByName: make(map[string]*storage.Device)}
 	if cfg.Coordinate {
 		c.Broker = broker.New()
+		if cfg.Faults != nil {
+			c.transport = faults.NewTransport(eng, cfg.Faults, c.Broker)
+		} else {
+			c.transport = broker.NewDirectTransport(c.Broker)
+		}
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &Node{
@@ -233,6 +265,8 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		}
 		n.HDFS = storage.NewDevice(eng, fmt.Sprintf("node%d-hdfs", i), cfg.HDFSDisk)
 		n.Local = storage.NewDevice(eng, fmt.Sprintf("node%d-local", i), cfg.LocalDisk)
+		c.devByName[fmt.Sprintf("node%d-hdfs", i)] = n.HDFS
+		c.devByName[fmt.Sprintf("node%d-local", i)] = n.Local
 		n.nicOut = sim.NewPSResource(eng, fmt.Sprintf("node%d-nic-out", i), sim.ConstantCapacity(cfg.NICBandwidth))
 		n.nicIn = sim.NewPSResource(eng, fmt.Sprintf("node%d-nic-in", i), sim.ConstantCapacity(cfg.NICBandwidth))
 
@@ -243,12 +277,37 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		}
 
 		if c.Broker != nil {
-			c.attach(n.HDFSSched, fmt.Sprintf("node%d-hdfs", i))
-			c.attach(n.LocalSched, fmt.Sprintf("node%d-local", i))
+			c.attach(i, "hdfs", n.HDFSSched, fmt.Sprintf("node%d-hdfs", i))
+			c.attach(i, "local", n.LocalSched, fmt.Sprintf("node%d-local", i))
 		}
 		c.Nodes = append(c.Nodes, n)
 	}
+	if cfg.Faults != nil {
+		c.armFaults(cfg.Faults)
+	}
 	return c, nil
+}
+
+// armFaults schedules the injector's restarts and device-degradation
+// windows on the engine. Both schedules come pre-sorted, so event
+// sequence numbers — and the whole run — stay deterministic.
+func (c *Cluster) armFaults(inj *faults.Injector) {
+	for _, r := range inj.RestartSchedule() {
+		client := c.byID[r.ID]
+		if client == nil {
+			continue
+		}
+		c.Eng.ScheduleDaemon(r.At, func() { client.Restart() })
+	}
+	for _, d := range inj.DegradeSchedule() {
+		dev := c.devByName[d.Device]
+		if dev == nil {
+			continue
+		}
+		factor := d.Factor
+		c.Eng.ScheduleDaemon(d.Window.Start, func() { dev.SetDisturbance(factor) })
+		c.Eng.ScheduleDaemon(d.Window.End, func() { dev.SetDisturbance(1) })
+	}
 }
 
 // buildScheduler wires one device according to the policy. persistent
@@ -300,13 +359,81 @@ func (l *linkBackend) Submit(_ storage.OpKind, size float64, onDone func(float64
 
 // attach connects an SFQ scheduler to the broker; non-SFQ schedulers
 // cannot coordinate and are skipped.
-func (c *Cluster) attach(s iosched.Scheduler, id string) {
+func (c *Cluster) attach(node int, dev string, s iosched.Scheduler, id string) {
 	sfq, ok := s.(*iosched.SFQ)
 	if !ok {
 		return
 	}
-	client := broker.NewClient(c.Eng, c.Broker, id, sfq.Accounting(), c.cfg.CoordinationPeriod)
+	client := broker.NewClientWithOptions(c.Eng, id, sfq.Accounting(), broker.ClientOptions{
+		Transport: c.transport,
+		Period:    c.cfg.CoordinationPeriod,
+		Retry:     c.cfg.Retry,
+	})
+	client.BindScheduler(sfq)
+	sfq.SetDelayClamp(c.cfg.DelayClamp)
 	sfq.SetCoordinator(client)
+	c.clients = append(c.clients, ClientRef{Node: node, Dev: dev, C: client})
+	c.byID[id] = client
+}
+
+// Clients returns the coordination clients, one per SFQ scheduler, in
+// node order (hdfs before local per node).
+func (c *Cluster) Clients() []ClientRef { return c.clients }
+
+// DetachNode permanently disconnects node i's coordination clients
+// from the broker, as the cluster membership service would when the
+// node is declared dead: its last-reported service vectors are
+// withdrawn and surviving nodes stop being delayed on its behalf.
+func (c *Cluster) DetachNode(i int) {
+	for _, ref := range c.clients {
+		if ref.Node == i {
+			ref.C.Detach()
+		}
+	}
+}
+
+// RetireApp tells the broker the application has finished cluster-wide:
+// its totals are dropped and late straggler reports for it are ignored,
+// so a long-lived AppID cannot haunt future jobs with stale service.
+// No-op without coordination.
+func (c *Cluster) RetireApp(app iosched.AppID) {
+	if c.Broker != nil {
+		c.Broker.Retire(app)
+	}
+}
+
+// ReviveApp undoes RetireApp for a reused AppID (e.g. consecutive Hive
+// stages). No-op without coordination.
+func (c *Cluster) ReviveApp(app iosched.AppID) {
+	if c.Broker != nil {
+		c.Broker.Revive(app)
+	}
+}
+
+// CoordinationHealth merges the failure-handling counters of every
+// coordination client into one cluster-wide view.
+func (c *Cluster) CoordinationHealth() metrics.CoordinationHealth {
+	var h metrics.CoordinationHealth
+	for _, ref := range c.clients {
+		h.Merge(ref.C.Health())
+	}
+	return h
+}
+
+// SetDegradeObserver registers cluster-level callbacks fired when any
+// client degrades to local fairness or recovers, identified by (node,
+// device label). The audit layer wires in here to switch invariant
+// regimes in step with the schedulers.
+func (c *Cluster) SetDegradeObserver(onDegrade, onRecover func(node int, dev string, t float64)) {
+	for _, ref := range c.clients {
+		ref := ref
+		if onDegrade != nil {
+			ref.C.SetOnDegrade(func(t float64) { onDegrade(ref.Node, ref.Dev, t) })
+		}
+		if onRecover != nil {
+			ref.C.SetOnRecover(func(t float64) { onRecover(ref.Node, ref.Dev, t) })
+		}
+	}
 }
 
 // profileCache memoizes per-spec calibration: the paper's profiling

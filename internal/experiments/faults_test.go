@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"ibis/internal/cluster"
+	"ibis/internal/faults"
+)
+
+// TestFaultMatrix is the acceptance check for the fault-tolerant
+// coordination plane: local proportional sharing is preserved during a
+// 20-period broker outage, the cluster reconverges to total-service
+// sharing within the K=5-period recovery grace, and the whole run is
+// audit-clean with the expected regime switches.
+func TestFaultMatrix(t *testing.T) {
+	res, err := FaultMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string]FaultMatrixRow, len(res.Rows))
+	for _, row := range res.Rows {
+		rows[row.Scenario] = row
+		if row.Violations != 0 {
+			t.Errorf("%s: %d audit violations, want 0", row.Scenario, row.Violations)
+		}
+		if math.IsInf(row.Pre, 1) || math.IsInf(row.During, 1) || math.IsInf(row.Post, 1) {
+			t.Errorf("%s: narrow app starved in some phase (pre=%v during=%v post=%v)",
+				row.Scenario, row.Pre, row.During, row.Post)
+		}
+	}
+
+	base := rows["baseline"]
+	if base.Health.Failures != 0 || base.Health.Degradations != 0 {
+		t.Errorf("baseline: unexpected failures (%+v)", base.Health)
+	}
+	if base.Pre < 2.5 || base.Pre > 4 || base.Post < 2.5 || base.Post > 4 {
+		t.Errorf("baseline: coordinated ratio out of band: pre=%.2f post=%.2f", base.Pre, base.Post)
+	}
+	if base.TotalChecks == 0 || base.TotalSkipped != 0 {
+		t.Errorf("baseline: total-share checks=%d skipped=%d, want >0 and 0", base.TotalChecks, base.TotalSkipped)
+	}
+
+	out := rows["outage"]
+	// All 16 clients degrade during the [20,40) blackout and recover.
+	if out.Health.Degradations != 16 || out.Health.Recoveries != 16 {
+		t.Errorf("outage: degradations=%d recoveries=%d, want 16/16", out.Health.Degradations, out.Health.Recoveries)
+	}
+	// During the outage the schedulers fall back to pure local 3:1
+	// fairness: wide/narrow ≈ 15 on this topology.
+	if out.During < 10 {
+		t.Errorf("outage: during-ratio %.2f, want ≥10 (local-only fairness)", out.During)
+	}
+	// Reconvergence: after the K=5-period grace the ratio is back at
+	// the coordinated target and the re-engaged total-share check
+	// passed (Violations == 0 above covers the "passed" half).
+	if out.Post > 4 {
+		t.Errorf("outage: post-ratio %.2f, want ≤4 (reconverged)", out.Post)
+	}
+	if out.DegradedChecks == 0 {
+		t.Error("outage: degraded-window local share never checked")
+	}
+	if out.TotalSkipped == 0 || out.TotalChecks == 0 {
+		t.Errorf("outage: total-share skipped=%d checked=%d, want both >0", out.TotalSkipped, out.TotalChecks)
+	}
+
+	part := rows["partition"]
+	// Only the partitioned node's two clients degrade.
+	if part.Health.Degradations != 2 || part.Health.Recoveries != 2 {
+		t.Errorf("partition: degradations=%d recoveries=%d, want 2/2", part.Health.Degradations, part.Health.Recoveries)
+	}
+	if part.During <= part.Pre {
+		t.Errorf("partition: during-ratio %.2f not above pre %.2f", part.During, part.Pre)
+	}
+	if part.Post > 4 {
+		t.Errorf("partition: post-ratio %.2f, want ≤4", part.Post)
+	}
+
+	loss := rows["loss"]
+	// Bounded retries absorb the message loss: coordination holds.
+	if loss.Health.Retries == 0 {
+		t.Error("loss: no retries recorded under 25% drop probability")
+	}
+	for ph, r := range map[string]float64{"pre": loss.Pre, "during": loss.During, "post": loss.Post} {
+		if r > 4.5 {
+			t.Errorf("loss: %s-ratio %.2f, want ≤4.5 (retries should hold coordination)", ph, r)
+		}
+	}
+
+	rst := rows["restart"]
+	if rst.Health.Restarts != 2 || rst.Health.ReRegisters != 2 {
+		t.Errorf("restart: restarts=%d reregisters=%d, want 2/2", rst.Health.Restarts, rst.Health.ReRegisters)
+	}
+	if rst.Post > 4 {
+		t.Errorf("restart: post-ratio %.2f, want ≤4", rst.Post)
+	}
+}
+
+// TestFaultCustom exercises the flag-driven entry point.
+func TestFaultCustom(t *testing.T) {
+	res, err := FaultCustom(faults.Spec{
+		Seed:    9,
+		Outages: []faults.Window{{Start: 10, End: 15}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.Violations != 0 {
+		t.Errorf("custom: %d violations, want 0", row.Violations)
+	}
+	if row.Health.Degradations == 0 {
+		t.Error("custom: outage produced no degradations")
+	}
+}
+
+// TestFaultRunDeterminism re-runs a mixed scenario and demands an
+// identical outcome: same event count, same service totals, same
+// health counters.
+func TestFaultRunDeterminism(t *testing.T) {
+	spec := &faults.Spec{
+		Seed:     7,
+		Outages:  []faults.Window{{Start: 12, End: 18}},
+		DropProb: 0.2, DelayProb: 0.4, DelayMax: 0.3,
+	}
+	run := func() FaultMatrixRow {
+		row, err := faultRun(FaultScenario{Name: "det", Policy: cluster.SFQD, Spec: spec}, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return row
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("non-deterministic fault run:\n a=%+v\n b=%+v", a, b)
+	}
+}

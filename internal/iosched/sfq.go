@@ -3,6 +3,7 @@ package iosched
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"ibis/internal/sim"
 	"ibis/internal/storage"
@@ -43,6 +44,16 @@ type SFQ struct {
 	probe  Probe
 	static int // static depth; used when ctrl == nil
 	ctrl   *DepthController
+
+	// coordSuspended gates the DSFQ delay rule: while true the
+	// scheduler enforces pure local SFQ(D) fairness (graceful
+	// degradation during coordination-plane outages).
+	coordSuspended bool
+	// delayClamp, when positive, caps the remote-service delta charged
+	// per arrival (cost units); excess is forgiven. It bounds the
+	// delay a flow can be handed from a stale burst of totals after a
+	// partition heals without passing through the degraded state.
+	delayClamp float64
 
 	inflight int
 
@@ -91,10 +102,76 @@ func (s *SFQ) SetObserver(o Observer) { s.observer = o }
 // SetProbe installs a lifecycle probe (tracing/auditing).
 func (s *SFQ) SetProbe(p Probe) { s.probe = p }
 
+// SetDelayClamp caps the per-arrival DSFQ delay increment at clamp
+// cost units (0 disables). See the delayClamp field.
+func (s *SFQ) SetDelayClamp(clamp float64) { s.delayClamp = clamp }
+
 // Coordinated reports whether a Coordinator is attached (the DSFQ
 // delay rule is in force, so local service shares are intentionally
 // skewed toward total-service fairness).
 func (s *SFQ) Coordinated() bool { return s.coord != nil }
+
+// CoordinationSuspended reports whether the delay rule is currently
+// suspended (degraded to pure local fairness).
+func (s *SFQ) CoordinationSuspended() bool { return s.coordSuspended }
+
+// SuspendCoordination degrades the scheduler to pure local SFQ(D)
+// fairness: the delay rule stops applying, and the tag debt flows have
+// already accumulated from it is cancelled — per-flow virtual-time
+// state and the tags of queued requests are clamped down to the
+// current virtual time. Without the clamp a flow present on many nodes
+// would enter the outage with tags far ahead of vtime (its delay debt
+// grows at the remote service rate) and starve locally for the whole
+// outage, the opposite of the guarantee degradation is meant to keep.
+// Idempotent; a no-op effect-wise when no debt exists.
+func (s *SFQ) SuspendCoordination() {
+	if s.coordSuspended {
+		return
+	}
+	s.coordSuspended = true
+	// Cancel per-flow tag debt…
+	for _, f := range s.flows {
+		if f.lastFinish > s.vtime {
+			f.lastFinish = s.vtime
+		}
+	}
+	// …then replay local SFQ tagging over the queued requests in
+	// arrival order: each request's tags shrink to where they would be
+	// had the delay rule never applied (never grow — tags at or below
+	// the replay position were fairly earned and are kept).
+	if len(s.queue) > 0 {
+		old := append([]*Request(nil), s.queue...)
+		sort.Slice(old, func(i, j int) bool { return old[i].seq < old[j].seq })
+		for _, r := range old {
+			f := s.flows[r.App]
+			if replay := math.Max(s.vtime, f.lastFinish); r.startTag > replay {
+				r.startTag = replay
+				r.finishTag = replay + r.cost/r.Weight
+			}
+			if r.finishTag > f.lastFinish {
+				f.lastFinish = r.finishTag
+			}
+		}
+		s.queue = s.queue[:0]
+		for _, r := range old {
+			s.queue.push(r)
+		}
+	}
+}
+
+// ResumeCoordination re-enables the delay rule after recovery. Every
+// flow re-snapshots the remote-service totals at its next arrival
+// instead of being charged the outage's accumulated delta — the
+// stale-total clamp that keeps a returning node from being starved.
+func (s *SFQ) ResumeCoordination() {
+	if !s.coordSuspended {
+		return
+	}
+	s.coordSuspended = false
+	for _, f := range s.flows {
+		f.seenOther = false
+	}
+}
 
 // Name implements Scheduler.
 func (s *SFQ) Name() string {
@@ -157,14 +234,20 @@ func (s *SFQ) Submit(req *Request) {
 	}
 
 	base := f.lastFinish
-	if s.coord != nil {
+	if s.coord != nil && !s.coordSuspended {
 		other := s.coord.OtherService(req.App)
 		if !f.seenOther {
 			// First arrival: no delay, just take the snapshot.
 			f.lastOther = other
 			f.seenOther = true
 		} else if other > f.lastOther {
-			base += (other - f.lastOther) / req.Weight
+			delta := other - f.lastOther
+			if s.delayClamp > 0 && delta > s.delayClamp {
+				// Forgive the excess of a stale burst of totals (e.g.
+				// a partition healing): charge at most the clamp.
+				delta = s.delayClamp
+			}
+			base += delta / req.Weight
 			f.lastOther = other
 		}
 	}

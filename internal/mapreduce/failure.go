@@ -26,6 +26,10 @@ func (rt *Runtime) FailNode(idx int) {
 		return
 	}
 	n.Dead = true
+	// Disconnect the node's coordination clients: its schedulers will
+	// never report again, and leaving its last service vectors at the
+	// broker would delay surviving nodes' flows against a ghost.
+	rt.cluster.DetachNode(idx)
 	// Clear every reservation: the headroom math changed with the
 	// cluster size, and a reservation whose reduce can no longer be
 	// admitted would block its node's maps forever. Viable ones re-form

@@ -186,6 +186,9 @@ func (rt *Runtime) Submit(spec JobSpec, delay float64) (*Job, error) {
 	rt.nextID++
 
 	job := &Job{rt: rt, Spec: eff, App: app, seq: seq, state: Pending}
+	// A reused AppID (consecutive Hive stages, resubmitted jobs) may
+	// have been retired at the broker when its previous job finished.
+	rt.cluster.ReviveApp(app)
 	rt.jobs = append(rt.jobs, job)
 	rt.eng.Schedule(delay, func() { rt.start(job) })
 	return job, nil
@@ -285,6 +288,7 @@ func (j *Job) fail() {
 	for _, fn := range j.rt.onDone {
 		fn(j)
 	}
+	j.rt.retireIfUnused(j.App)
 	j.rt.fair.pump()
 }
 
@@ -427,7 +431,19 @@ func (j *Job) maybeFinish() {
 		for _, fn := range j.rt.onDone {
 			fn(j)
 		}
+		j.rt.retireIfUnused(j.App)
 	}
+}
+
+// retireIfUnused retires app at the broker once no unfinished job
+// shares it, so stale straggler reports cannot resurrect its totals.
+func (rt *Runtime) retireIfUnused(app iosched.AppID) {
+	for _, other := range rt.jobs {
+		if other.App == app && !other.finished() {
+			return
+		}
+	}
+	rt.cluster.RetireApp(app)
 }
 
 // submitIO issues one tagged request on a node for this job.

@@ -200,6 +200,66 @@ func (d *Distribution) ensureSorted() {
 	}
 }
 
+// CoordinationHealth aggregates the fault-tolerance counters of the
+// coordination plane: exchange attempts and outcomes, retry/backoff
+// activity, and the degradation state machine's transitions. One value
+// per broker client; Merge folds clients into a cluster-wide view.
+type CoordinationHealth struct {
+	// Attempts counts exchange round trips initiated (including
+	// retries); Successes those whose response was applied.
+	Attempts  uint64
+	Successes uint64
+	// Failures counts attempts that errored (broker unavailable,
+	// message lost) and Timeouts those abandoned because the response
+	// exceeded the retry policy's timeout.
+	Failures uint64
+	Timeouts uint64
+	// Retries counts backoff-scheduled re-attempts; SkippedRounds
+	// counts periodic rounds abandoned after exhausting retries (or
+	// skipped because a previous round was still retrying).
+	Retries       uint64
+	SkippedRounds uint64
+	// StaleDrops counts responses discarded on arrival: out of order
+	// behind a newer applied response, late past the timeout, or
+	// obsoleted by a restart.
+	StaleDrops uint64
+	// Degradations and Recoveries count transitions into and out of
+	// the degraded (local-fairness-only) mode; DegradedTime is the
+	// total virtual seconds spent degraded.
+	Degradations uint64
+	Recoveries   uint64
+	DegradedTime float64
+	// Restarts counts injected scheduler restarts; ReRegisters counts
+	// completed re-registration handshakes after them.
+	Restarts    uint64
+	ReRegisters uint64
+}
+
+// Merge accumulates o into h.
+func (h *CoordinationHealth) Merge(o CoordinationHealth) {
+	h.Attempts += o.Attempts
+	h.Successes += o.Successes
+	h.Failures += o.Failures
+	h.Timeouts += o.Timeouts
+	h.Retries += o.Retries
+	h.SkippedRounds += o.SkippedRounds
+	h.StaleDrops += o.StaleDrops
+	h.Degradations += o.Degradations
+	h.Recoveries += o.Recoveries
+	h.DegradedTime += o.DegradedTime
+	h.Restarts += o.Restarts
+	h.ReRegisters += o.ReRegisters
+}
+
+// String renders the counters on one line.
+func (h CoordinationHealth) String() string {
+	return fmt.Sprintf(
+		"attempts=%d ok=%d fail=%d timeout=%d retries=%d skipped=%d stale=%d degraded=%d recovered=%d degraded-time=%.1fs restarts=%d reregisters=%d",
+		h.Attempts, h.Successes, h.Failures, h.Timeouts, h.Retries,
+		h.SkippedRounds, h.StaleDrops, h.Degradations, h.Recoveries,
+		h.DegradedTime, h.Restarts, h.ReRegisters)
+}
+
 // Slowdown returns the fractional slowdown (runtime/standalone − 1),
 // the metric on top of the bars in Figures 3, 6, 11 and 12: WordCount
 // "slowed down by 107%" means its runtime was 2.07× the standalone run.
