@@ -29,10 +29,47 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 
 	"ibis/internal/experiments"
 	"ibis/internal/faults"
+	"ibis/internal/iosched"
 )
+
+// reweightFlag parameterizes the "reweight" experiment: a live weight
+// change scripted as t=<time>,app=<id>,w=<weight>.
+var reweightFlag = flag.String("reweight", "",
+	"reweight schedule t=<time>,app=<id>,w=<weight> for the reweight experiment (empty = t=30,app=hot,w=8)")
+
+// parseReweight turns the flag into a spec; the empty string keeps the
+// default schedule.
+func parseReweight(s string) (experiments.ReweightSpec, error) {
+	spec := experiments.DefaultReweightSpec()
+	if s == "" {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("reweight: malformed field %q (want k=v)", kv)
+		}
+		switch k {
+		case "t":
+			if _, err := fmt.Sscanf(v, "%g", &spec.At); err != nil {
+				return spec, fmt.Errorf("reweight: bad time %q", v)
+			}
+		case "app":
+			spec.App = iosched.AppID(v)
+		case "w":
+			if _, err := fmt.Sscanf(v, "%g", &spec.Weight); err != nil {
+				return spec, fmt.Errorf("reweight: bad weight %q", v)
+			}
+		default:
+			return spec, fmt.Errorf("reweight: unknown field %q (want t/app/w)", k)
+		}
+	}
+	return spec, nil
+}
 
 // Fault-injection flags, consumed by the "fault-custom" experiment.
 var (
@@ -208,4 +245,13 @@ var extras = []namedExp{
 	// Robustness: coordination-plane fault injection.
 	{"fault-matrix", func(float64) (fmt.Stringer, error) { return experiments.FaultMatrix() }},
 	{"fault-custom", func(float64) (fmt.Stringer, error) { return experiments.FaultCustom(customFaultSpec()) }},
+	// Runtime control plane: live mid-run reweighting through the
+	// share tree, parameterized by -reweight.
+	{"reweight", func(float64) (fmt.Stringer, error) {
+		spec, err := parseReweight(*reweightFlag)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.Reweight(spec)
+	}},
 }

@@ -46,6 +46,7 @@ import (
 	"ibis/internal/iosched"
 	"ibis/internal/mapreduce"
 	"ibis/internal/metrics"
+	"ibis/internal/shares"
 	"ibis/internal/sim"
 	"ibis/internal/storage"
 	"ibis/internal/trace"
@@ -74,6 +75,26 @@ const (
 
 // AppID identifies an application cluster-wide.
 type AppID = iosched.AppID
+
+// Class identifies an I/O class (persistent vs. intermediate, read vs.
+// write); see iosched.Class.
+type Class = iosched.Class
+
+// I/O classes, re-exported for SetClassWeight.
+const (
+	PersistentRead    = iosched.PersistentRead
+	PersistentWrite   = iosched.PersistentWrite
+	IntermediateRead  = iosched.IntermediateRead
+	IntermediateWrite = iosched.IntermediateWrite
+)
+
+// ShareTree is the cluster's runtime weight control plane — the
+// tenant → application → I/O-class share tree; see internal/shares.
+type ShareTree = shares.Tree
+
+// ShareTransition records one control-plane mutation (reweight, bind,
+// tenant declaration) with the epoch it produced.
+type ShareTransition = shares.Transition
 
 // JobSpec describes a MapReduce application (see mapreduce.JobSpec).
 type JobSpec = mapreduce.JobSpec
@@ -269,6 +290,21 @@ func New(cfg Config) (*Simulation, error) {
 		// check is suspended until K periods after recovery.
 		cl.SetDegradeObserver(s.au.NoteDegradeStart, s.au.NoteDegradeEnd)
 	}
+	// Wire the control plane's epoch stream into the instrumentation:
+	// audit opens a reconvergence window around every live weight
+	// change, trace records the transition for offline analysis.
+	if s.au != nil {
+		s.au.SetShares(cl.Shares())
+	}
+	cl.Shares().OnChange(func(tr shares.Transition) {
+		if s.au != nil {
+			s.au.NoteEpochChange(tr.Time)
+		}
+		if s.tr != nil {
+			s.tr.NoteEpoch(tr.Time, tr.Epoch,
+				fmt.Sprintf("%s %s/%s %g->%g", tr.Kind, tr.Tenant, tr.App, tr.Old, tr.New))
+		}
+	})
 	if s.tr != nil || s.au != nil {
 		cl.Instrument(func(node int, dev string, sched iosched.Scheduler) iosched.Probe {
 			var ps []iosched.Probe
@@ -333,6 +369,49 @@ func (s *Simulation) RunUntil(limit float64) float64 {
 		s.au.Finish()
 	}
 	return t
+}
+
+// Shares returns the cluster's share tree for direct control-plane
+// access (the convenience methods below cover the common operations).
+func (s *Simulation) Shares() *ShareTree { return s.cl.Shares() }
+
+// Tenant declares a tenant with the given cluster-wide weight, or
+// updates it live. Jobs and queries join a tenant via JobSpec.Tenant /
+// QueryOptions.Tenant; undeclared tenants are auto-created at weight 1
+// on first use.
+func (s *Simulation) Tenant(name string, weight float64) error {
+	return s.cl.Shares().Tenant(name, weight)
+}
+
+// SetWeight changes an application's I/O weight live: the new weight
+// takes effect cluster-wide at the app's next request tag, without
+// resubmission and without breaking tag monotonicity. It also pins the
+// weight against later job-submission overrides.
+func (s *Simulation) SetWeight(app AppID, weight float64) error {
+	return s.cl.Shares().SetAppWeight(app, weight)
+}
+
+// SetClassWeight sets an application's per-I/O-class weight multiplier
+// (default 1) — e.g. deprioritize intermediate spills relative to
+// persistent reads of the same app.
+func (s *Simulation) SetClassWeight(app AppID, class Class, mult float64) error {
+	return s.cl.Shares().SetClassWeight(app, class, mult)
+}
+
+// EffectiveWeight resolves the weight a scheduler would use right now
+// for (app, class): tenantWeight × appWeight × classMultiplier.
+func (s *Simulation) EffectiveWeight(app AppID, class Class) float64 {
+	w, _ := s.cl.Shares().EffectiveWeight(app, class)
+	return w
+}
+
+// ShareEpoch returns the share tree's current version; it increments
+// on every control-plane mutation.
+func (s *Simulation) ShareEpoch() uint64 { return s.cl.Shares().Epoch() }
+
+// ShareTransitions returns the control-plane mutation log.
+func (s *Simulation) ShareTransitions() []ShareTransition {
+	return s.cl.Shares().Transitions()
 }
 
 // Trace returns the lifecycle tracer, or nil when Config.TraceCapacity

@@ -25,9 +25,24 @@
 //   - total-proportional-share: the cluster-wide analog under
 //     coordination, comparing flows continuously backlogged on the
 //     same set of schedulers;
+//   - tenant-proportional-share / total-tenant-proportional-share: the
+//     hierarchical analogs with a share tree attached (SetShares):
+//     each tenant's aggregate normalized service (total service over
+//     the summed effective weights of its qualifying members) is a
+//     weighted average of its members' per-flow ratios, so any
+//     tenant-pair difference is bounded by the worst member-pair
+//     bound — checked per window, locally and cluster-wide;
 //   - broker-conservation: the sum of the schedulers' reported local
 //     service vectors equals the broker's global totals, checked at
 //     every exchange.
+//
+// Live reweights (share-tree epoch changes) open a bounded
+// reconvergence window: share checks are suspended for windows
+// overlapping [t, t + RecoveryPeriods × CoordinationPeriod] after a
+// change at t, because windowed normalized service mixes service
+// earned under two different weights. Tag invariants are NOT relaxed —
+// monotonicity and consistency must hold through a reweight, which is
+// exactly the tag-time-resolution contract.
 //
 // The auditor is wired through cluster.Instrument (or directly via
 // Probe) and accumulates Violations; a clean run reports none. Checks
@@ -146,6 +161,40 @@ type Auditor struct {
 	// each currently-degraded scheduler opened.
 	skips     []span
 	openSkips map[string]int
+
+	// Epoch bookkeeping (see NoteEpochChange): reconvergence intervals
+	// around live weight changes, during which share checks (but not
+	// tag checks) are suspended.
+	epochSkips []span
+	// shares attributes apps to tenants for the hierarchical checks
+	// (nil disables them).
+	shares broker.ShareView
+}
+
+// SetShares attaches the share tree view used to group flows into
+// tenants for the hierarchical proportional-share invariants.
+func (a *Auditor) SetShares(v broker.ShareView) { a.shares = v }
+
+// NoteEpochChange records a live weight change at virtual time t: all
+// share checks are suspended for windows overlapping the reconvergence
+// interval [t, t + RecoveryPeriods × CoordinationPeriod]. Wire it to
+// shares.Tree.OnChange. Windows past the interval are checked again —
+// the system must actually reconverge to the new targets.
+func (a *Auditor) NoteEpochChange(t float64) {
+	a.count("epoch-noted")
+	grace := float64(a.opts.RecoveryPeriods) * a.opts.CoordinationPeriod
+	a.epochSkips = append(a.epochSkips, span{from: t, to: t + grace})
+}
+
+// epochSkipWindow reports whether [ws, we) overlaps any reweight
+// reconvergence interval.
+func (a *Auditor) epochSkipWindow(ws, we float64) bool {
+	for _, sp := range a.epochSkips {
+		if sp.from < we && ws < sp.to {
+			return true
+		}
+	}
+	return false
 }
 
 // span is a virtual-time interval; to is +Inf while still open.
@@ -455,10 +504,10 @@ func (s *schedState) Observe(req *iosched.Request, st iosched.ProbeState) {
 			}
 			f.lastStart = req.StartTag()
 			a.count("tag-consistency")
-			want := req.StartTag() + req.Cost()/req.Weight
+			want := req.StartTag() + req.Cost()/req.Weight()
 			if math.Abs(req.FinishTag()-want) > tagEps(req.FinishTag(), want) {
 				a.violate(Violation{Time: st.Time, Invariant: "tag-consistency", Node: s.node, Dev: s.dev, App: req.App,
-					Detail: fmt.Sprintf("finish tag %.9g != start %.9g + cost/w %.9g", req.FinishTag(), req.StartTag(), req.Cost()/req.Weight)})
+					Detail: fmt.Sprintf("finish tag %.9g != start %.9g + cost/w %.9g", req.FinishTag(), req.StartTag(), req.Cost()/req.Weight())})
 			}
 			if req.StartTag() < st.VTime-tagEps(req.StartTag(), st.VTime) {
 				a.violate(Violation{Time: st.Time, Invariant: "tag-consistency", Node: s.node, Dev: s.dev, App: req.App,
@@ -502,8 +551,8 @@ func (s *schedState) Observe(req *iosched.Request, st iosched.ProbeState) {
 		}
 		f.service += req.Cost()
 		f.requests++
-		f.weight = req.Weight
-		if u := req.Cost() / req.Weight; u > f.maxUnit {
+		f.weight = req.Weight()
+		if u := req.Cost() / req.Weight(); u > f.maxUnit {
 			f.maxUnit = u
 		}
 		if s.coordinated && a.cluster != nil {
@@ -546,6 +595,13 @@ func (s *schedState) closeWindow() {
 		// applies for windows spent fully degraded.
 		invariant = "proportional-share-degraded"
 	}
+	if invariant != "" && s.a.epochSkipWindow(s.windowStart, end) {
+		// A live reweight landed in (or near) this window: normalized
+		// service mixes the old and new weights, so share comparisons
+		// are suspended for the declared reconvergence interval.
+		s.a.count("share-skipped-epoch")
+		invariant = ""
+	}
 	if invariant != "" {
 		maxZero := w * s.a.opts.BacklogSlack
 		apps := make([]iosched.AppID, 0, len(s.flows))
@@ -575,6 +631,37 @@ func (s *schedState) closeWindow() {
 				}
 			}
 		}
+		// Hierarchical check: a tenant's aggregate normalized service
+		// (Σ service / Σ effective weight over qualifying members) is a
+		// weighted average of its members' per-flow ratios, so any
+		// tenant-pair difference is bounded by the worst member-pair
+		// bound. Singleton-vs-singleton pairs duplicate the per-app
+		// check above and are skipped.
+		if s.a.shares != nil && len(apps) > 1 {
+			names, aggs := tenantAggregates(apps, s.a.shares, func(app iosched.AppID) (float64, float64, float64) {
+				f := s.flows[app]
+				return f.service, f.weight, f.maxUnit
+			})
+			for i := 0; i < len(names); i++ {
+				for j := i + 1; j < len(names); j++ {
+					ti, tj := aggs[names[i]], aggs[names[j]]
+					if ti.members < 2 && tj.members < 2 {
+						continue
+					}
+					s.a.count("tenant-" + invariant)
+					ri, rj := ti.service/ti.weight, tj.service/tj.weight
+					bound := float64(d+1) * (ti.maxUnit + tj.maxUnit) * (1 + s.a.opts.ShareSlack)
+					if diff := math.Abs(ri - rj); diff > bound {
+						s.a.violate(Violation{
+							Time: s.windowStart + s.a.opts.Window, Invariant: "tenant-" + invariant,
+							Node: s.node, Dev: s.dev,
+							Detail: fmt.Sprintf("window [%.1fs,%.1fs): tenant normalized service %s=%.4g vs %s=%.4g, |diff| %.4g > bound %.4g (D=%d)",
+								s.windowStart, s.windowStart+s.a.opts.Window, names[i], ri, names[j], rj, diff, bound, d),
+						})
+					}
+				}
+			}
+		}
 	}
 	for _, f := range s.flows {
 		f.service = 0
@@ -582,6 +669,41 @@ func (s *schedState) closeWindow() {
 		f.zeroDur = 0
 	}
 	s.maxDepth = s.lastDepth
+}
+
+// tenantAgg aggregates the qualifying member flows of one tenant for
+// the hierarchical share checks.
+type tenantAgg struct {
+	service float64
+	weight  float64 // Σ member effective weights
+	maxUnit float64 // max member cost/weight
+	members int
+}
+
+// tenantAggregates groups qualifying apps (already sorted) by tenant,
+// accumulating in app order so float rounding is deterministic. get
+// returns one flow's (service, weight, maxUnit) window accumulators.
+func tenantAggregates(apps []iosched.AppID, shares broker.ShareView, get func(iosched.AppID) (float64, float64, float64)) ([]string, map[string]*tenantAgg) {
+	aggs := make(map[string]*tenantAgg)
+	var names []string
+	for _, app := range apps {
+		tn := shares.TenantOf(app)
+		ag := aggs[tn]
+		if ag == nil {
+			ag = &tenantAgg{}
+			aggs[tn] = ag
+			names = append(names, tn)
+		}
+		service, weight, maxUnit := get(app)
+		ag.service += service
+		ag.weight += weight
+		ag.members++
+		if maxUnit > ag.maxUnit {
+			ag.maxUnit = maxUnit
+		}
+	}
+	sort.Strings(names)
+	return names, aggs
 }
 
 // clusterFlow is one application's cluster-wide audit state under
@@ -653,8 +775,8 @@ func (c *clusterState) complete(req *iosched.Request, sched int, t float64) {
 	f := c.flow(req.App)
 	f.service += req.Cost()
 	f.requests++
-	f.weight = req.Weight
-	if u := req.Cost() / req.Weight; u > f.maxUnit {
+	f.weight = req.Weight()
+	if u := req.Cost() / req.Weight(); u > f.maxUnit {
 		f.maxUnit = u
 	}
 	// Track the deepest dispatch bound any coordinated scheduler used.
@@ -733,6 +855,15 @@ func (c *clusterState) closeWindow() {
 	if skipped && len(apps) > 0 {
 		c.a.count("total-proportional-share-skipped")
 	}
+	if !skipped && c.a.epochSkipWindow(c.windowStart, end) {
+		// Reweight reconvergence: the delay functions are converging
+		// toward the new targets for a bounded number of coordination
+		// periods; past the grace the bound re-tightens.
+		skipped = true
+		if len(apps) > 0 {
+			c.a.count("share-skipped-epoch")
+		}
+	}
 	for i := 0; i < len(apps) && !skipped; i++ {
 		for j := i + 1; j < len(apps); j++ {
 			if !intersects(sets[apps[i]], sets[apps[j]]) {
@@ -753,6 +884,51 @@ func (c *clusterState) closeWindow() {
 					Detail: fmt.Sprintf("window [%.1fs,%.1fs): total normalized service %s=%.4g vs %s=%.4g, |diff| %.4g > bound %.4g (D=%d)",
 						c.windowStart, end, apps[i], ri, apps[j], rj, diff, bound, d),
 				})
+			}
+		}
+	}
+	// Hierarchical cluster-wide check, by the same weighted-average
+	// argument as the local one: tenant aggregate ratios are bounded by
+	// the worst member-pair bound. Tenant pairs qualify when their
+	// members' backlogged-scheduler sets intersect and at least one
+	// tenant has two or more qualifying members (singleton pairs
+	// duplicate the per-app check).
+	if !skipped && c.a.shares != nil && len(apps) > 1 {
+		names, aggs := tenantAggregates(apps, c.a.shares, func(app iosched.AppID) (float64, float64, float64) {
+			f := c.flows[app]
+			return f.service, f.weight, f.maxUnit
+		})
+		union := make(map[string]map[int]bool, len(names))
+		for _, app := range apps {
+			tn := c.a.shares.TenantOf(app)
+			if union[tn] == nil {
+				union[tn] = make(map[int]bool)
+			}
+			for id := range sets[app] {
+				union[tn][id] = true
+			}
+		}
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				ti, tj := aggs[names[i]], aggs[names[j]]
+				if ti.members < 2 && tj.members < 2 {
+					continue
+				}
+				if !intersects(union[names[i]], union[names[j]]) {
+					continue
+				}
+				c.a.count("total-tenant-proportional-share")
+				ri, rj := ti.service/ti.weight, tj.service/tj.weight
+				stale := 2 * c.a.opts.CoordinationPeriod * (ri + rj) / w
+				bound := float64(d+1)*(ti.maxUnit+tj.maxUnit)*float64(c.members+1)*(1+c.a.opts.ShareSlack) + stale
+				if diff := math.Abs(ri - rj); diff > bound {
+					c.a.violate(Violation{
+						Time: end, Invariant: "total-tenant-proportional-share",
+						Node: -1,
+						Detail: fmt.Sprintf("window [%.1fs,%.1fs): tenant normalized service %s=%.4g vs %s=%.4g, |diff| %.4g > bound %.4g (D=%d)",
+							c.windowStart, end, names[i], ri, names[j], rj, diff, bound, d),
+					})
+				}
 			}
 		}
 	}

@@ -168,7 +168,7 @@ func TestRegimeSwitchingEndToEnd(t *testing.T) {
 		var issue func()
 		issue = func() {
 			sched.Submit(&iosched.Request{
-				App: app, Weight: 1, Class: iosched.PersistentRead, Size: 1e6,
+				App: app, Shares: iosched.FixedWeight(1), Class: iosched.PersistentRead, Size: 1e6,
 				OnDone: func(float64) {
 					if eng.Now() < horizon {
 						issue()

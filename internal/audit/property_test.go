@@ -133,7 +133,7 @@ func runShareTrial(t *testing.T, seed int64, pol propPolicy, spec storage.Spec) 
 			var issue func()
 			issue = func() {
 				s.Submit(&iosched.Request{
-					App: f.app, Weight: f.weight, Class: iosched.PersistentRead, Size: f.size,
+					App: f.app, Shares: iosched.FixedWeight(f.weight), Class: iosched.PersistentRead, Size: f.size,
 					OnDone: func(float64) {
 						if eng.Now() < horizon {
 							issue()

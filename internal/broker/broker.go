@@ -54,12 +54,16 @@ type Stats struct {
 	EntriesUp uint64
 	// EntriesDown is the total number of pairs returned.
 	EntriesDown uint64
+	// TenantEntriesDown is the number of (tenant, service) aggregates
+	// piggybacked on responses for the tenant-level delay rule.
+	TenantEntriesDown uint64
 }
 
 // BytesApprox estimates the wire volume of the coordination traffic,
-// assuming 8-byte service values plus 16-byte application identifiers.
+// assuming 8-byte service values plus 16-byte identifiers for both
+// per-app entries and the piggybacked tenant aggregates.
 func (s Stats) BytesApprox() uint64 {
-	return (s.EntriesUp + s.EntriesDown) * 24
+	return (s.EntriesUp + s.EntriesDown + s.TenantEntriesDown) * 24
 }
 
 // Broker is the centralized aggregation point. It keeps, per reporting
@@ -74,8 +78,55 @@ type Broker struct {
 	// had at retirement. They keep the service observable (Total)
 	// after cleanup without participating in exchanges.
 	finals map[iosched.AppID]float64
+	shares ShareView
 	stats  Stats
 	probe  Probe
+}
+
+// ShareView is the slice of the share tree the coordination plane
+// needs: tenant attribution for aggregation and the epoch to piggyback
+// on responses. *shares.Tree implements it. A nil view treats every
+// app as its own implicit singleton tenant, which reproduces the flat
+// per-app coordination exactly.
+type ShareView interface {
+	TenantOf(app iosched.AppID) string
+	Epoch() uint64
+}
+
+// SetShares attaches the share tree the broker aggregates tenants
+// against (nil reverts to implicit singleton tenants).
+func (b *Broker) SetShares(v ShareView) { b.shares = v }
+
+func (b *Broker) tenantOf(app iosched.AppID) string {
+	if b.shares != nil {
+		return b.shares.TenantOf(app)
+	}
+	return implicitTenant(app)
+}
+
+// implicitTenant mirrors shares.ImplicitTenant without importing the
+// shares package (which would be legal, but the coordination plane
+// should not depend on the control plane's full API for one string).
+func implicitTenant(app iosched.AppID) string { return "~" + string(app) }
+
+// Response is one coordination response: the cluster-wide totals for
+// the apps the scheduler reported, plus tenant-level aggregates and
+// the share-tree epoch they were computed at.
+type Response struct {
+	// Apps maps each reported (non-retired) app to its cluster-wide
+	// cumulative service.
+	Apps map[iosched.AppID]float64
+	// Tenants maps each tenant owning a reported app to the
+	// cluster-wide cumulative service across ALL of that tenant's apps
+	// — including apps this scheduler does not serve. This is the
+	// aggregate the tenant-level DSFQ delay rule charges against, so
+	// proportionality is enforced between tenants, not just between
+	// the apps a single node happens to see.
+	Tenants map[string]float64
+	// Epoch is the share-tree version the tenant attribution was
+	// resolved at. Clients invalidate cached app→tenant bindings when
+	// it moves.
+	Epoch uint64
 }
 
 // Probe observes each completed exchange: the reporting scheduler's id
@@ -106,7 +157,7 @@ func New() *Broker {
 // Retired apps are skipped in both directions: their pruned state must
 // not be resurrected by the stale entries local accounting still
 // carries.
-func (b *Broker) Exchange(scheduler string, vector map[iosched.AppID]float64) map[iosched.AppID]float64 {
+func (b *Broker) Exchange(scheduler string, vector map[iosched.AppID]float64) Response {
 	prev := b.reports[scheduler]
 	if prev == nil {
 		prev = make(map[iosched.AppID]float64)
@@ -121,16 +172,34 @@ func (b *Broker) Exchange(scheduler string, vector map[iosched.AppID]float64) ma
 		prev[app] = cum
 		up++
 	}
-	resp := make(map[iosched.AppID]float64, up)
+	resp := Response{Apps: make(map[iosched.AppID]float64, up)}
 	for app := range vector {
 		if b.retired[app] {
 			continue
 		}
-		resp[app] = b.totals[app]
+		resp.Apps[app] = b.totals[app]
+	}
+	// Tenant aggregates: for every tenant owning a reported app, sum
+	// the totals of all that tenant's apps. The accumulation iterates
+	// apps in sorted order so float rounding is deterministic across
+	// runs regardless of map layout.
+	need := make(map[string]bool, len(resp.Apps))
+	for app := range resp.Apps {
+		need[b.tenantOf(app)] = true
+	}
+	resp.Tenants = make(map[string]float64, len(need))
+	for _, app := range b.Apps() {
+		if t := b.tenantOf(app); need[t] {
+			resp.Tenants[t] += b.totals[app]
+		}
+	}
+	if b.shares != nil {
+		resp.Epoch = b.shares.Epoch()
 	}
 	b.stats.Exchanges++
 	b.stats.EntriesUp += uint64(up)
-	b.stats.EntriesDown += uint64(len(resp))
+	b.stats.EntriesDown += uint64(len(resp.Apps))
+	b.stats.TenantEntriesDown += uint64(len(resp.Tenants))
 	if b.probe != nil {
 		b.probe(scheduler, b)
 	}
@@ -240,6 +309,17 @@ func (b *Broker) Apps() []iosched.AppID {
 	return ids
 }
 
+// TenantTotals aggregates the live per-app totals by tenant,
+// accumulating in sorted-app order for deterministic rounding. Used by
+// the audit layer's cluster-wide hierarchical invariant.
+func (b *Broker) TenantTotals() map[string]float64 {
+	out := make(map[string]float64)
+	for _, app := range b.Apps() {
+		out[b.tenantOf(app)] += b.totals[app]
+	}
+	return out
+}
+
 // Schedulers returns the registered scheduler ids, sorted.
 func (b *Broker) Schedulers() []string {
 	ids := make([]string, 0, len(b.reports))
@@ -268,7 +348,7 @@ type Transport interface {
 	// delivered; the broker may or may not have applied the report
 	// (response loss) — retrying is safe because vectors are
 	// cumulative.
-	Exchange(id string, vector map[iosched.AppID]float64) (resp map[iosched.AppID]float64, rtt float64, err error)
+	Exchange(id string, vector map[iosched.AppID]float64) (resp Response, rtt float64, err error)
 	// Register performs the (re-)registration handshake.
 	Register(id string) (rtt float64, err error)
 	// Unregister removes the scheduler's report from the broker. It
@@ -284,7 +364,7 @@ type directTransport struct{ b *Broker }
 // NewDirectTransport wraps a broker in the reliable transport.
 func NewDirectTransport(b *Broker) Transport { return directTransport{b} }
 
-func (d directTransport) Exchange(id string, vec map[iosched.AppID]float64) (map[iosched.AppID]float64, float64, error) {
+func (d directTransport) Exchange(id string, vec map[iosched.AppID]float64) (Response, float64, error) {
 	return d.b.Exchange(id, vec), 0, nil
 }
 
@@ -377,13 +457,19 @@ type ClientOptions struct {
 	// Retry tunes failure handling; zero fields take period-derived
 	// defaults.
 	Retry RetryPolicy
+	// Shares attributes apps to tenants on the client side (nil means
+	// implicit singleton tenants, i.e. flat per-app coordination).
+	Shares ShareView
 }
 
 // Client performs the periodic exchange for one local scheduler and
 // implements iosched.Coordinator: OtherService(app) returns the service
-// the app has received on all *other* nodes, per the broker's latest
-// applied response. A Client with a nil transport never coordinates
-// (No Sync).
+// the app's *tenant* has received on all other nodes, per the broker's
+// latest applied response. With only implicit singleton tenants this is
+// exactly the app's own remote service (the flat pre-tree semantics);
+// with declared tenants the DSFQ delay charges the whole tenant's
+// remote service, enforcing tenant-level proportionality. A Client
+// with a nil transport never coordinates (No Sync).
 type Client struct {
 	id        string
 	transport Transport
@@ -391,9 +477,15 @@ type Client struct {
 	eng       *sim.Engine
 	period    float64
 	policy    RetryPolicy
+	shares    ShareView
 
-	other  map[iosched.AppID]float64
-	rounds uint64
+	otherTenant map[string]float64
+	// tenantCache memoizes app→tenant attribution so the per-arrival
+	// OtherService lookup stays allocation-free; it is invalidated
+	// whenever a response carries a newer share-tree epoch.
+	tenantCache map[iosched.AppID]string
+	shareEpoch  uint64
+	rounds      uint64
 
 	sched     *iosched.SFQ
 	onDegrade func(t float64)
@@ -447,7 +539,9 @@ func NewClientWithOptions(eng *sim.Engine, id string, reporter Reporter, opts Cl
 		eng:          eng,
 		period:       period,
 		policy:       opts.Retry.withDefaults(period),
-		other:        make(map[iosched.AppID]float64),
+		shares:       opts.Shares,
+		otherTenant:  make(map[string]float64),
+		tenantCache:  make(map[iosched.AppID]string),
 		failingSince: -1,
 		nextSeq:      1,
 	}
@@ -602,25 +696,61 @@ func (c *Client) sendRegister() {
 }
 
 // apply folds a successful response into the client's remote-service
-// view and completes the round.
-func (c *Client) apply(vec, resp map[iosched.AppID]float64, now float64) {
-	for app, total := range resp {
-		other := total - vec[app]
+// view and completes the round. The view is tenant-level: for each
+// tenant in the response, remote service = cluster-wide tenant total
+// minus the local per-tenant sum of the vector this round reported.
+func (c *Client) apply(vec map[iosched.AppID]float64, resp Response, now float64) {
+	if resp.Epoch != c.shareEpoch {
+		// Bindings may have moved between tenants; recompute
+		// attribution lazily from the shares view.
+		c.shareEpoch = resp.Epoch
+		for app := range c.tenantCache {
+			delete(c.tenantCache, app)
+		}
+	}
+	// Local per-tenant sums, accumulated in sorted-app order so float
+	// rounding stays deterministic.
+	apps := make([]iosched.AppID, 0, len(vec))
+	for app := range vec {
+		apps = append(apps, app)
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
+	local := make(map[string]float64, len(resp.Tenants))
+	for _, app := range apps {
+		local[c.tenant(app)] += vec[app]
+	}
+	for t, total := range resp.Tenants {
+		other := total - local[t]
 		if other < 0 {
 			other = 0
 		}
-		c.other[app] = other
+		c.otherTenant[t] = other
 	}
-	// Prune entries the broker no longer returns (retired apps) so
-	// long-lived clients don't leak vector entries.
-	for app := range c.other {
-		if _, ok := resp[app]; !ok {
-			delete(c.other, app)
+	// Prune entries the broker no longer returns (retired apps /
+	// dissolved tenants) so long-lived clients don't leak entries.
+	for t := range c.otherTenant {
+		if _, ok := resp.Tenants[t]; !ok {
+			delete(c.otherTenant, t)
 		}
 	}
 	c.rounds++
 	c.health.Successes++
 	c.noteSuccess(now)
+}
+
+// tenant memoizes the app→tenant attribution.
+func (c *Client) tenant(app iosched.AppID) string {
+	if t, ok := c.tenantCache[app]; ok {
+		return t
+	}
+	var t string
+	if c.shares != nil {
+		t = c.shares.TenantOf(app)
+	} else {
+		t = implicitTenant(app)
+	}
+	c.tenantCache[app] = t
+	return t
 }
 
 func (c *Client) noteSuccess(now float64) {
@@ -718,7 +848,8 @@ func (c *Client) Restart() {
 	c.health.Restarts++
 	c.epoch++
 	c.eng.Cancel(c.retryEv)
-	c.other = make(map[iosched.AppID]float64)
+	c.otherTenant = make(map[string]float64)
+	c.tenantCache = make(map[iosched.AppID]string)
 	c.inRound = false
 	c.attempt = 0
 	c.needRegister = true
@@ -753,9 +884,11 @@ func (c *Client) Detach() {
 // Detached reports whether the client has been permanently detached.
 func (c *Client) Detached() bool { return c.detached }
 
-// OtherService implements iosched.Coordinator.
+// OtherService implements iosched.Coordinator: the remote service of
+// the app's tenant. For implicit singleton tenants this is the app's
+// own remote service, bit-identical to the flat semantics.
 func (c *Client) OtherService(app iosched.AppID) float64 {
-	return c.other[app]
+	return c.otherTenant[c.tenant(app)]
 }
 
 // Rounds returns the number of successful exchanges applied.

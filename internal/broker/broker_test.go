@@ -15,8 +15,11 @@ func TestExchangeAggregatesAcrossSchedulers(t *testing.T) {
 	b := New()
 	b.Exchange("n1", map[iosched.AppID]float64{"A": 100, "B": 50})
 	resp := b.Exchange("n2", map[iosched.AppID]float64{"A": 40})
-	if resp["A"] != 140 {
-		t.Fatalf("total A = %v, want 140", resp["A"])
+	if resp.Apps["A"] != 140 {
+		t.Fatalf("total A = %v, want 140", resp.Apps["A"])
+	}
+	if resp.Tenants["~A"] != 140 {
+		t.Fatalf("tenant total ~A = %v, want 140", resp.Tenants["~A"])
 	}
 	if b.Total("B") != 50 {
 		t.Fatalf("total B = %v, want 50", b.Total("B"))
@@ -36,11 +39,14 @@ func TestExchangeResponseScopedToReportedApps(t *testing.T) {
 	b := New()
 	b.Exchange("n1", map[iosched.AppID]float64{"A": 1, "B": 2})
 	resp := b.Exchange("n2", map[iosched.AppID]float64{"B": 3})
-	if _, ok := resp["A"]; ok {
+	if _, ok := resp.Apps["A"]; ok {
 		t.Fatal("response leaked app the scheduler does not serve")
 	}
-	if resp["B"] != 5 {
-		t.Fatalf("total B = %v, want 5", resp["B"])
+	if _, ok := resp.Tenants["~A"]; ok {
+		t.Fatal("response leaked tenant the scheduler does not serve")
+	}
+	if resp.Apps["B"] != 5 {
+		t.Fatalf("total B = %v, want 5", resp.Apps["B"])
 	}
 }
 
@@ -61,7 +67,8 @@ func TestBrokerStats(t *testing.T) {
 	if st.Exchanges != 2 || st.EntriesUp != 3 || st.EntriesDown != 3 {
 		t.Fatalf("stats = %+v", st)
 	}
-	if st.BytesApprox() != 6*24 {
+	// 3 entries up, 3 app entries down, 3 implicit-tenant entries down.
+	if st.BytesApprox() != 9*24 {
 		t.Fatalf("BytesApprox = %d", st.BytesApprox())
 	}
 }
@@ -95,7 +102,7 @@ func TestClientOtherService(t *testing.T) {
 }
 
 func TestClientUnknownAppZero(t *testing.T) {
-	c := &Client{other: map[iosched.AppID]float64{}}
+	c := &Client{otherTenant: map[string]float64{}, tenantCache: map[iosched.AppID]string{}}
 	if c.OtherService("nope") != 0 {
 		t.Fatal("unknown app should have zero other-service")
 	}
@@ -217,7 +224,7 @@ func TestCoordinationBalancesTotalService(t *testing.T) {
 		var issue func()
 		issue = func() {
 			s.Submit(&iosched.Request{
-				App: app, Weight: 1, Class: iosched.PersistentRead, Size: 1e6,
+				App: app, Shares: iosched.FixedWeight(1), Class: iosched.PersistentRead, Size: 1e6,
 				OnDone: func(float64) {
 					*served += 1e6
 					if eng.Now() < 60 {
@@ -259,7 +266,7 @@ func TestNoCoordinationIsUnfair(t *testing.T) {
 		var issue func()
 		issue = func() {
 			s.Submit(&iosched.Request{
-				App: app, Weight: 1, Class: iosched.PersistentRead, Size: 1e6,
+				App: app, Shares: iosched.FixedWeight(1), Class: iosched.PersistentRead, Size: 1e6,
 				OnDone: func(float64) {
 					*served += 1e6
 					if eng.Now() < 60 {

@@ -26,8 +26,18 @@ type hookTransport struct {
 	unregistered []string
 }
 
-func (h *hookTransport) Exchange(id string, vec map[iosched.AppID]float64) (map[iosched.AppID]float64, float64, error) {
-	return h.exchange(id, vec)
+// Exchange adapts the scripted per-app map into a Response, deriving
+// the implicit singleton tenant totals the real broker would send.
+func (h *hookTransport) Exchange(id string, vec map[iosched.AppID]float64) (Response, float64, error) {
+	m, rtt, err := h.exchange(id, vec)
+	if err != nil {
+		return Response{}, rtt, err
+	}
+	resp := Response{Apps: m, Tenants: make(map[string]float64, len(m))}
+	for a, v := range m {
+		resp.Tenants[implicitTenant(a)] = v
+	}
+	return resp, rtt, nil
 }
 
 func (h *hookTransport) Register(id string) (float64, error) {
@@ -329,12 +339,13 @@ func TestBrokerUnregisterWithdrawsServiceAndPrunes(t *testing.T) {
 func TestBrokerExchangeReturnsDefensiveCopy(t *testing.T) {
 	b := New()
 	resp := b.Exchange("n0", map[iosched.AppID]float64{"a": 10})
-	resp["a"] = 1e12 // mutate the response
+	resp.Apps["a"] = 1e12 // mutate the response
+	resp.Tenants["~a"] = 1e12
 	if got := b.Total("a"); got != 10 {
 		t.Errorf("total mutated through response: %g, want 10", got)
 	}
 	resp2 := b.Exchange("n1", map[iosched.AppID]float64{"a": 5})
-	if got := resp2["a"]; got != 15 {
+	if got := resp2.Apps["a"]; got != 15 {
 		t.Errorf("second response = %g, want 15", got)
 	}
 }
@@ -356,7 +367,7 @@ func TestBrokerRetireBlocksResurrection(t *testing.T) {
 	// A straggler report with the app's full cumulative value must not
 	// resurrect it — local accounting never forgets an app.
 	resp := b.Exchange("n0", map[iosched.AppID]float64{"a": 12, "live": 2})
-	if _, ok := resp["a"]; ok {
+	if _, ok := resp.Apps["a"]; ok {
 		t.Error("retired app present in exchange response")
 	}
 	if got := b.Total("a"); got != 10 {

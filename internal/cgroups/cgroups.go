@@ -89,12 +89,16 @@ func (w *Weight) SetProbe(p iosched.Probe) {
 func (w *Weight) ReadSFQ() *iosched.SFQ { return w.reads }
 
 // Submit implements iosched.Scheduler.
-func (w *Weight) Submit(req *iosched.Request) {
+func (w *Weight) Submit(req *iosched.Request) error {
 	if req.Class.OpKind() == storage.Read {
-		w.reads.Submit(req)
-		return
+		return w.reads.Submit(req)
 	}
-	// Buffered write-back: dispatched immediately, unattributed.
+	// Buffered write-back: dispatched immediately, unattributed. The
+	// request still resolves its weight so accounting and audit see a
+	// tagged request, even though no scheduling decision uses it.
+	if err := req.Resolve(); err != nil {
+		return err
+	}
 	arrive := w.eng.Now()
 	req.MarkExternalArrival(w.writeSeq, arrive)
 	w.writeSeq++
@@ -124,6 +128,7 @@ func (w *Weight) Submit(req *iosched.Request) {
 			req.OnDone(lat)
 		}
 	})
+	return nil
 }
 
 // Throttle is the blkio throttling baseline: applications with a
@@ -167,11 +172,13 @@ type throttledReq struct {
 
 // NewThrottle builds the throttling baseline. limits maps each capped
 // application to its bandwidth cap in bytes/second; applications absent
-// from the map are uncapped.
-func NewThrottle(eng *sim.Engine, dev *storage.Device, limits map[iosched.AppID]float64) *Throttle {
+// from the map are uncapped. Limits arrive from the public cluster
+// config, so a non-positive rate is reported as an input error rather
+// than a panic.
+func NewThrottle(eng *sim.Engine, dev *storage.Device, limits map[iosched.AppID]float64) (*Throttle, error) {
 	for app, rate := range limits {
 		if rate <= 0 {
-			panic(fmt.Sprintf("cgroups: throttle rate for %q must be positive, got %g", app, rate))
+			return nil, fmt.Errorf("cgroups: throttle rate for %q must be positive, got %g", app, rate)
 		}
 	}
 	t := &Throttle{
@@ -181,7 +188,7 @@ func NewThrottle(eng *sim.Engine, dev *storage.Device, limits map[iosched.AppID]
 		limits:  limits,
 		buckets: make(map[iosched.AppID]*bucket),
 	}
-	return t
+	return t, nil
 }
 
 var _ iosched.Scheduler = (*Throttle)(nil)
@@ -208,7 +215,10 @@ func (t *Throttle) SetProbe(p iosched.Probe) { t.probe = p }
 // immediately (FIFO behaviour); capped apps consume tokens. Buffered
 // writes bypass the throttle entirely — blkio v1 cannot attribute
 // write-back I/O to the issuing cgroup.
-func (t *Throttle) Submit(req *iosched.Request) {
+func (t *Throttle) Submit(req *iosched.Request) error {
+	if err := req.Resolve(); err != nil {
+		return err
+	}
 	rate, capped := t.limits[req.App]
 	if req.Class.OpKind() == storage.Write {
 		capped = false
@@ -226,7 +236,7 @@ func (t *Throttle) Submit(req *iosched.Request) {
 	}
 	if !capped {
 		t.dispatch(tr)
-		return
+		return nil
 	}
 	b := t.buckets[req.App]
 	if b == nil {
@@ -237,12 +247,13 @@ func (t *Throttle) Submit(req *iosched.Request) {
 	if len(b.waiting) == 0 && b.tokens >= req.Size {
 		b.tokens -= req.Size
 		t.dispatch(tr)
-		return
+		return nil
 	}
 	heap.Push(&b.waiting, &waitItem{req: tr, seq: b.seq, cost: req.Size})
 	b.seq++
 	t.queued++
 	t.armRelease(b)
+	return nil
 }
 
 func (t *Throttle) refill(b *bucket) {

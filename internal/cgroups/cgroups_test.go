@@ -16,6 +16,15 @@ func flatSpec() storage.Spec {
 	}
 }
 
+func newThrottle(t *testing.T, eng *sim.Engine, dev *storage.Device, limits map[iosched.AppID]float64) *Throttle {
+	t.Helper()
+	s, err := NewThrottle(eng, dev, limits)
+	if err != nil {
+		t.Fatalf("NewThrottle: %v", err)
+	}
+	return s
+}
+
 func TestWeightIsProportional(t *testing.T) {
 	eng := sim.NewEngine()
 	dev := storage.NewDevice(eng, "d", flatSpec())
@@ -25,7 +34,7 @@ func TestWeightIsProportional(t *testing.T) {
 		var issue func()
 		issue = func() {
 			s.Submit(&iosched.Request{
-				App: app, Weight: w, Class: iosched.IntermediateRead, Size: 1e6,
+				App: app, Shares: iosched.FixedWeight(w), Class: iosched.IntermediateRead, Size: 1e6,
 				OnDone: func(float64) {
 					*served += 1e6
 					if eng.Now() < 30 {
@@ -49,12 +58,12 @@ func TestWeightIsProportional(t *testing.T) {
 func TestThrottleCapsRate(t *testing.T) {
 	eng := sim.NewEngine()
 	dev := storage.NewDevice(eng, "d", flatSpec())
-	s := NewThrottle(eng, dev, map[iosched.AppID]float64{"capped": 5e6})
+	s := newThrottle(t, eng, dev, map[iosched.AppID]float64{"capped": 5e6})
 	var served float64
 	var issue func()
 	issue = func() {
 		s.Submit(&iosched.Request{
-			App: "capped", Weight: 1, Class: iosched.IntermediateRead, Size: 1e6,
+			App: "capped", Shares: iosched.FixedWeight(1), Class: iosched.IntermediateRead, Size: 1e6,
 			OnDone: func(float64) {
 				served += 1e6
 				if eng.Now() < 20 {
@@ -81,10 +90,10 @@ func TestThrottleNonWorkConserving(t *testing.T) {
 	// underutilization the paper attributes to cgroups throttling.
 	eng := sim.NewEngine()
 	dev := storage.NewDevice(eng, "d", flatSpec())
-	s := NewThrottle(eng, dev, map[iosched.AppID]float64{"capped": 1e6})
+	s := newThrottle(t, eng, dev, map[iosched.AppID]float64{"capped": 1e6})
 	var done float64
 	s.Submit(&iosched.Request{
-		App: "capped", Weight: 1, Class: iosched.IntermediateRead, Size: 10e6,
+		App: "capped", Shares: iosched.FixedWeight(1), Class: iosched.IntermediateRead, Size: 10e6,
 		OnDone: func(float64) { done = eng.Now() },
 	})
 	eng.Run()
@@ -101,10 +110,10 @@ func TestThrottleNonWorkConserving(t *testing.T) {
 func TestThrottleUncappedPassthrough(t *testing.T) {
 	eng := sim.NewEngine()
 	dev := storage.NewDevice(eng, "d", flatSpec())
-	s := NewThrottle(eng, dev, map[iosched.AppID]float64{"capped": 1e6})
+	s := newThrottle(t, eng, dev, map[iosched.AppID]float64{"capped": 1e6})
 	var freeDone float64
 	s.Submit(&iosched.Request{
-		App: "free", Weight: 1, Class: iosched.IntermediateRead, Size: 10e6,
+		App: "free", Shares: iosched.FixedWeight(1), Class: iosched.IntermediateRead, Size: 10e6,
 		OnDone: func(float64) { freeDone = eng.Now() },
 	})
 	eng.Run()
@@ -116,12 +125,12 @@ func TestThrottleUncappedPassthrough(t *testing.T) {
 func TestThrottleFIFOWithinApp(t *testing.T) {
 	eng := sim.NewEngine()
 	dev := storage.NewDevice(eng, "d", flatSpec())
-	s := NewThrottle(eng, dev, map[iosched.AppID]float64{"c": 2e6})
+	s := newThrottle(t, eng, dev, map[iosched.AppID]float64{"c": 2e6})
 	var order []int
 	for i := 0; i < 5; i++ {
 		i := i
 		s.Submit(&iosched.Request{
-			App: "c", Weight: 1, Class: iosched.IntermediateRead, Size: 1e6,
+			App: "c", Shares: iosched.FixedWeight(1), Class: iosched.IntermediateRead, Size: 1e6,
 			OnDone: func(float64) { order = append(order, i) },
 		})
 	}
@@ -139,8 +148,8 @@ func TestThrottleFIFOWithinApp(t *testing.T) {
 func TestThrottleAccounting(t *testing.T) {
 	eng := sim.NewEngine()
 	dev := storage.NewDevice(eng, "d", flatSpec())
-	s := NewThrottle(eng, dev, nil)
-	s.Submit(&iosched.Request{App: "A", Weight: 1, Class: iosched.IntermediateRead, Size: 3e6})
+	s := newThrottle(t, eng, dev, nil)
+	s.Submit(&iosched.Request{App: "A", Shares: iosched.FixedWeight(1), Class: iosched.IntermediateRead, Size: 3e6})
 	eng.Run()
 	svc := s.Accounting().Service("A")
 	if svc.Bytes != 3e6 || svc.Requests != 1 {
@@ -154,24 +163,21 @@ func TestThrottleAccounting(t *testing.T) {
 	}
 }
 
-func TestThrottleInvalidRatePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero rate accepted")
-		}
-	}()
+func TestThrottleInvalidRateRejected(t *testing.T) {
 	eng := sim.NewEngine()
-	NewThrottle(eng, storage.NewDevice(eng, "d", flatSpec()), map[iosched.AppID]float64{"x": 0})
+	if _, err := NewThrottle(eng, storage.NewDevice(eng, "d", flatSpec()), map[iosched.AppID]float64{"x": 0}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
 }
 
 func TestThrottleObserver(t *testing.T) {
 	eng := sim.NewEngine()
 	dev := storage.NewDevice(eng, "d", flatSpec())
-	s := NewThrottle(eng, dev, nil)
+	s := newThrottle(t, eng, dev, nil)
 	count := 0
 	s.SetObserver(func(*iosched.Request, float64) { count++ })
 	for i := 0; i < 3; i++ {
-		s.Submit(&iosched.Request{App: "A", Weight: 1, Class: iosched.IntermediateRead, Size: 1e5})
+		s.Submit(&iosched.Request{App: "A", Shares: iosched.FixedWeight(1), Class: iosched.IntermediateRead, Size: 1e5})
 	}
 	eng.Run()
 	if count != 3 {
@@ -184,10 +190,10 @@ func TestThrottleWritesBypassCap(t *testing.T) {
 	// cgroup and escape the throttle entirely.
 	eng := sim.NewEngine()
 	dev := storage.NewDevice(eng, "d", flatSpec())
-	s := NewThrottle(eng, dev, map[iosched.AppID]float64{"capped": 1e6})
+	s := newThrottle(t, eng, dev, map[iosched.AppID]float64{"capped": 1e6})
 	done := -1.0
 	s.Submit(&iosched.Request{
-		App: "capped", Weight: 1, Class: iosched.IntermediateWrite, Size: 10e6,
+		App: "capped", Shares: iosched.FixedWeight(1), Class: iosched.IntermediateWrite, Size: 10e6,
 		OnDone: func(float64) { done = eng.Now() },
 	})
 	eng.Run()
@@ -202,7 +208,7 @@ func TestWeightWritesBypass(t *testing.T) {
 	w := NewWeight(eng, dev, 2)
 	// Submit many writes: they all dispatch immediately (no queueing).
 	for i := 0; i < 10; i++ {
-		w.Submit(&iosched.Request{App: "A", Weight: 1, Class: iosched.IntermediateWrite, Size: 1e6})
+		w.Submit(&iosched.Request{App: "A", Shares: iosched.FixedWeight(1), Class: iosched.IntermediateWrite, Size: 1e6})
 	}
 	if w.InFlight() != 10 {
 		t.Fatalf("InFlight = %d, want 10 unmanaged writes", w.InFlight())
@@ -225,8 +231,8 @@ func TestWeightObserverBothPaths(t *testing.T) {
 	w := NewWeight(eng, dev, 2)
 	count := 0
 	w.SetObserver(func(*iosched.Request, float64) { count++ })
-	w.Submit(&iosched.Request{App: "A", Weight: 1, Class: iosched.IntermediateRead, Size: 1e6})
-	w.Submit(&iosched.Request{App: "A", Weight: 1, Class: iosched.IntermediateWrite, Size: 1e6})
+	w.Submit(&iosched.Request{App: "A", Shares: iosched.FixedWeight(1), Class: iosched.IntermediateRead, Size: 1e6})
+	w.Submit(&iosched.Request{App: "A", Shares: iosched.FixedWeight(1), Class: iosched.IntermediateWrite, Size: 1e6})
 	eng.Run()
 	if count != 2 {
 		t.Fatalf("observer saw %d events, want 2", count)

@@ -15,6 +15,7 @@ import (
 	"ibis/internal/faults"
 	"ibis/internal/iosched"
 	"ibis/internal/metrics"
+	"ibis/internal/shares"
 	"ibis/internal/sim"
 	"ibis/internal/storage"
 )
@@ -122,6 +123,11 @@ type Config struct {
 	// DelayClamp caps the per-arrival DSFQ delay increment (cost
 	// units; 0 disables). See iosched.SFQ.SetDelayClamp.
 	DelayClamp float64
+
+	// Shares is the runtime weight control plane every request resolves
+	// through at tag time. Nil gets a fresh tree whose implicit
+	// singleton tenants reproduce flat per-app weights exactly.
+	Shares *shares.Tree
 }
 
 func (c *Config) defaults() {
@@ -189,6 +195,10 @@ type Node struct {
 	// device operations drain (the failure model is node-level, not a
 	// mid-request disk crash).
 	Dead bool
+
+	// shares is the cluster's weight control plane; tagged sends
+	// resolve their weight through it.
+	shares *shares.Tree
 }
 
 // FreeCores returns unallocated CPU slots.
@@ -203,12 +213,16 @@ type Cluster struct {
 	Nodes  []*Node
 	Broker *broker.Broker
 	cfg    Config
+	shares *shares.Tree
 
 	transport broker.Transport
 	clients   []ClientRef
 	byID      map[string]*broker.Client
 	devByName map[string]*storage.Device
 }
+
+// Shares returns the cluster's weight control plane.
+func (c *Cluster) Shares() *shares.Tree { return c.shares }
 
 // ClientRef locates one coordination client: the node index, the
 // device label ("hdfs"/"local"), and the client itself.
@@ -248,9 +262,14 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		}
 	}
 
-	c := &Cluster{Eng: eng, cfg: cfg, byID: make(map[string]*broker.Client), devByName: make(map[string]*storage.Device)}
+	if cfg.Shares == nil {
+		cfg.Shares = shares.NewTree()
+	}
+	cfg.Shares.SetClock(eng.Now)
+	c := &Cluster{Eng: eng, cfg: cfg, shares: cfg.Shares, byID: make(map[string]*broker.Client), devByName: make(map[string]*storage.Device)}
 	if cfg.Coordinate {
 		c.Broker = broker.New()
+		c.Broker.SetShares(c.shares)
 		if cfg.Faults != nil {
 			c.transport = faults.NewTransport(eng, cfg.Faults, c.Broker)
 		} else {
@@ -259,9 +278,10 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &Node{
-			Index: i,
-			Cores: cfg.CoresPerNode,
-			MemGB: cfg.MemGBPerNode,
+			Index:  i,
+			Cores:  cfg.CoresPerNode,
+			MemGB:  cfg.MemGBPerNode,
+			shares: c.shares,
 		}
 		n.HDFS = storage.NewDevice(eng, fmt.Sprintf("node%d-hdfs", i), cfg.HDFSDisk)
 		n.Local = storage.NewDevice(eng, fmt.Sprintf("node%d-local", i), cfg.LocalDisk)
@@ -270,8 +290,15 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		n.nicOut = sim.NewPSResource(eng, fmt.Sprintf("node%d-nic-out", i), sim.ConstantCapacity(cfg.NICBandwidth))
 		n.nicIn = sim.NewPSResource(eng, fmt.Sprintf("node%d-nic-in", i), sim.ConstantCapacity(cfg.NICBandwidth))
 
-		n.HDFSSched = c.buildScheduler(n.HDFS, true, hdfsCtrl)
-		n.LocalSched = c.buildScheduler(n.Local, false, localCtrl)
+		var err error
+		n.HDFSSched, err = c.buildScheduler(n.HDFS, true, hdfsCtrl)
+		if err != nil {
+			return nil, err
+		}
+		n.LocalSched, err = c.buildScheduler(n.Local, false, localCtrl)
+		if err != nil {
+			return nil, err
+		}
 		if cfg.ScheduleNetwork {
 			n.NetSched = iosched.NewSFQD(eng, &linkBackend{eng: eng, res: n.nicOut}, cfg.NetworkDepth)
 		}
@@ -311,29 +338,32 @@ func (c *Cluster) armFaults(inj *faults.Injector) {
 }
 
 // buildScheduler wires one device according to the policy. persistent
-// marks the HDFS device: cgroups policies leave it uncontrolled.
-func (c *Cluster) buildScheduler(dev *storage.Device, persistent bool, ctrl iosched.ControllerConfig) iosched.Scheduler {
+// marks the HDFS device: cgroups policies leave it uncontrolled. The
+// policy and its parameters arrive from the public config, so an
+// unknown policy or a bad rate table is an input error surfaced from
+// New, not a panic.
+func (c *Cluster) buildScheduler(dev *storage.Device, persistent bool, ctrl iosched.ControllerConfig) (iosched.Scheduler, error) {
 	switch c.cfg.Policy {
 	case Native:
-		return iosched.NewFIFO(c.Eng, dev)
+		return iosched.NewFIFO(c.Eng, dev), nil
 	case SFQD:
-		return iosched.NewSFQD(c.Eng, dev, c.cfg.SFQDepth)
+		return iosched.NewSFQD(c.Eng, dev, c.cfg.SFQDepth), nil
 	case SFQD2:
-		return iosched.NewSFQD2(c.Eng, dev, ctrl)
+		return iosched.NewSFQD2(c.Eng, dev, ctrl), nil
 	case CGWeight:
 		if persistent {
-			return iosched.NewFIFO(c.Eng, dev)
+			return iosched.NewFIFO(c.Eng, dev), nil
 		}
-		return cgroups.NewWeight(c.Eng, dev, c.cfg.SFQDepth)
+		return cgroups.NewWeight(c.Eng, dev, c.cfg.SFQDepth), nil
 	case CGThrottle:
 		if persistent {
-			return iosched.NewFIFO(c.Eng, dev)
+			return iosched.NewFIFO(c.Eng, dev), nil
 		}
 		return cgroups.NewThrottle(c.Eng, dev, c.cfg.ThrottleLimits)
 	case Reserve:
 		return iosched.NewReservation(c.Eng, dev, c.cfg.ReservationRates, c.cfg.ReservationDefault)
 	default:
-		panic(fmt.Sprintf("cluster: unknown policy %d", int(c.cfg.Policy)))
+		return nil, fmt.Errorf("cluster: unknown policy %d", int(c.cfg.Policy))
 	}
 }
 
@@ -368,6 +398,7 @@ func (c *Cluster) attach(node int, dev string, s iosched.Scheduler, id string) {
 		Transport: c.transport,
 		Period:    c.cfg.CoordinationPeriod,
 		Retry:     c.cfg.Retry,
+		Shares:    c.shares,
 	})
 	client.BindScheduler(sfq)
 	sfq.SetDelayClamp(c.cfg.DelayClamp)
@@ -528,13 +559,17 @@ func (c *Cluster) TotalCores() int {
 // SubmitIO routes one tagged request on node n: persistent classes go
 // to the HDFS device's scheduler, intermediate classes to the local
 // device's scheduler — the routing the IBIS interposition layer
-// performs in DataNode and NodeManager.
-func (n *Node) SubmitIO(req *iosched.Request) {
-	if req.Class.Persistent() {
-		n.HDFSSched.Submit(req)
-	} else {
-		n.LocalSched.Submit(req)
+// performs in DataNode and NodeManager. A request without a weight
+// source resolves through the cluster's share tree. A non-nil error
+// means the request was rejected and will never complete.
+func (n *Node) SubmitIO(req *iosched.Request) error {
+	if req.Shares == nil {
+		req.Shares = n.shares
 	}
+	if req.Class.Persistent() {
+		return n.HDFSSched.Submit(req)
+	}
+	return n.LocalSched.Submit(req)
 }
 
 // Send models a network transfer of size bytes from node n to dst: a
@@ -560,15 +595,17 @@ func (n *Node) Send(dst *Node, size float64, done func()) {
 
 // SendTagged is Send with application attribution: when the cluster
 // schedules network bandwidth, the egress hop passes through the NIC's
-// weighted fair scheduler; otherwise it behaves exactly like Send.
-func (n *Node) SendTagged(dst *Node, app iosched.AppID, weight float64, size float64, done func()) {
+// weighted fair scheduler; otherwise it behaves exactly like Send. The
+// transfer's weight resolves through the cluster's share tree at tag
+// time, like any other scheduled I/O.
+func (n *Node) SendTagged(dst *Node, app iosched.AppID, size float64, done func()) error {
 	if n.NetSched == nil || size <= 0 {
 		n.Send(dst, size, done)
-		return
+		return nil
 	}
-	n.NetSched.Submit(&iosched.Request{
+	return n.NetSched.Submit(&iosched.Request{
 		App:    app,
-		Weight: weight,
+		Shares: n.shares,
 		Class:  iosched.NetworkTransfer,
 		Size:   size,
 		OnDone: func(float64) {

@@ -38,7 +38,7 @@ func TestReservePolicyPacesIO(t *testing.T) {
 	var issue func()
 	issue = func() {
 		n.SubmitIO(&iosched.Request{
-			App: "A", Weight: 1, Class: iosched.PersistentRead, Size: 2e6,
+			App: "A", Shares: iosched.FixedWeight(1), Class: iosched.PersistentRead, Size: 2e6,
 			OnDone: func(float64) {
 				served += 2e6
 				if eng.Now() < 20 {
@@ -63,7 +63,7 @@ func TestSendTaggedWithoutNetSchedEqualsSend(t *testing.T) {
 	eng.Run()
 
 	eng2, c2 := newCluster(t, Config{Nodes: 2, NICBandwidth: 100e6})
-	c2.Nodes[0].SendTagged(c2.Nodes[1], "A", 1, 50e6, func() { t2 = eng2.Now() })
+	c2.Nodes[0].SendTagged(c2.Nodes[1], "A", 50e6, func() { t2 = eng2.Now() })
 	eng2.Run()
 	if math.Abs(t1-t2) > 1e-9 {
 		t.Fatalf("SendTagged without NetSched diverged: %v vs %v", t1, t2)
@@ -83,9 +83,13 @@ func TestNetworkSchedulerWeightsTransfers(t *testing.T) {
 	src, dst := c.Nodes[0], c.Nodes[1]
 	var hi, lo float64
 	keep := func(app iosched.AppID, w float64, served *float64) {
+		// Weights now come from the share tree, not the call site.
+		if err := c.Shares().SetAppWeight(app, w); err != nil {
+			t.Fatalf("SetAppWeight: %v", err)
+		}
 		var issue func()
 		issue = func() {
-			src.SendTagged(dst, app, w, 2e6, func() {
+			src.SendTagged(dst, app, 2e6, func() {
 				*served += 2e6
 				if eng.Now() < 20 {
 					issue()
@@ -114,7 +118,7 @@ func TestNetworkSchedulerOffByDefault(t *testing.T) {
 func TestZeroByteSendTagged(t *testing.T) {
 	eng, c := newCluster(t, Config{Nodes: 2, ScheduleNetwork: true})
 	fired := false
-	c.Nodes[0].SendTagged(c.Nodes[1], "A", 1, 0, func() { fired = true })
+	c.Nodes[0].SendTagged(c.Nodes[1], "A", 0, func() { fired = true })
 	eng.Run()
 	if !fired {
 		t.Fatal("zero-byte tagged send never completed")

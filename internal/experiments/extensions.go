@@ -227,7 +227,7 @@ func ssdPromotionPoint(depth int) SSDPromotionRow {
 		var issue func()
 		issue = func() {
 			s.Submit(&iosched.Request{
-				App: app, Weight: 1, Class: class, Size: 2e6,
+				App: app, Shares: iosched.FixedWeight(1), Class: class, Size: 2e6,
 				OnDone: func(l float64) {
 					*served += 2e6
 					if lat != nil {

@@ -169,7 +169,7 @@ func faultRun(sc FaultScenario, nodes int) (FaultMatrixRow, error) {
 		var issue func()
 		issue = func() {
 			n.SubmitIO(&iosched.Request{
-				App: app, Weight: weight, Class: iosched.PersistentRead, Size: 2e6,
+				App: app, Shares: iosched.FixedWeight(weight), Class: iosched.PersistentRead, Size: 2e6,
 				OnDone: func(float64) {
 					*served += 2e6
 					if eng.Now() < faultHorizon {

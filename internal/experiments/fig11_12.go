@@ -225,7 +225,7 @@ func microRun(coordinate bool, period float64, nodes int) (float64, uint64) {
 		var issue func()
 		issue = func() {
 			n.SubmitIO(&iosched.Request{
-				App: app, Weight: 1, Class: iosched.PersistentRead, Size: 2e6,
+				App: app, Shares: iosched.FixedWeight(1), Class: iosched.PersistentRead, Size: 2e6,
 				OnDone: func(float64) {
 					*served += 2e6
 					if eng.Now() < 60 {

@@ -68,7 +68,7 @@ func chaosRun(t *testing.T, spec faults.Spec, nodes int) chaosOutcome {
 		var issue func()
 		issue = func() {
 			n.SubmitIO(&iosched.Request{
-				App: app, Weight: weight, Class: iosched.PersistentRead, Size: 2e6,
+				App: app, Shares: iosched.FixedWeight(weight), Class: iosched.PersistentRead, Size: 2e6,
 				OnDone: func(float64) {
 					*served += 2e6
 					if eng.Now() < chaosHorizon {

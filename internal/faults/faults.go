@@ -376,19 +376,19 @@ func NewTransport(eng *sim.Engine, inj *Injector, b *broker.Broker) *Transport {
 }
 
 // Exchange implements broker.Transport.
-func (t *Transport) Exchange(id string, vec map[iosched.AppID]float64) (map[iosched.AppID]float64, float64, error) {
+func (t *Transport) Exchange(id string, vec map[iosched.AppID]float64) (broker.Response, float64, error) {
 	now := t.eng.Now()
 	seq := t.seq
 	t.seq++
 	if t.inj.BrokerDown(now) || t.inj.Partitioned(id, now) {
-		return nil, 0, broker.ErrUnavailable
+		return broker.Response{}, 0, broker.ErrUnavailable
 	}
 	if t.inj.dropProb > 0 && t.inj.roll(saltReqDrop, id, seq) < t.inj.dropProb {
-		return nil, 0, broker.ErrLost
+		return broker.Response{}, 0, broker.ErrLost
 	}
 	resp := t.b.Exchange(id, vec)
 	if t.inj.respDropProb > 0 && t.inj.roll(saltRespDrop, id, seq) < t.inj.respDropProb {
-		return nil, 0, broker.ErrLost
+		return broker.Response{}, 0, broker.ErrLost
 	}
 	var rtt float64
 	if t.inj.delayProb > 0 && t.inj.roll(saltDelay, id, seq) < t.inj.delayProb {

@@ -140,8 +140,13 @@ func Q5() Query {
 
 // RunOptions control query execution.
 type RunOptions struct {
-	// Weight is the I/O weight every stage carries.
+	// Weight is the I/O weight every stage carries. It seeds the
+	// query's node in the share tree; the control plane can reweight
+	// the query live while it runs.
 	Weight float64
+	// Tenant attributes the query to a named tenant in the share tree
+	// (empty = the query's own implicit singleton tenant).
+	Tenant string
 	// CPUWeight / CPUQuota mirror the mapreduce spec fields.
 	CPUWeight float64
 	CPUQuota  int
@@ -213,6 +218,7 @@ func Run(rt *mapreduce.Runtime, q Query, opts RunOptions) (*Execution, error) {
 			Name:              fmt.Sprintf("%s-%s", q.Name, st.Label),
 			App:               app,
 			Weight:            opts.Weight,
+			Tenant:            opts.Tenant,
 			CPUWeight:         opts.CPUWeight,
 			CPUQuota:          opts.CPUQuota,
 			Pool:              opts.Pool,

@@ -34,7 +34,7 @@ func BenchmarkSFQSubmitDispatch(b *testing.B) {
 	for i := range reqs {
 		r := &Request{
 			App:    AppID(fmt.Sprintf("app%d", i%4)),
-			Weight: float64(1 + i%3),
+			Shares: FixedWeight(float64(1 + i%3)),
 			Class:  PersistentRead,
 			Size:   1000,
 		}

@@ -14,6 +14,7 @@ package iosched
 
 import (
 	"fmt"
+	"math"
 
 	"ibis/internal/storage"
 )
@@ -48,6 +49,10 @@ const (
 	NetworkTransfer
 	numClasses
 )
+
+// NumClasses is the number of I/O classes, exported so weight sources
+// (the shares tree) can size per-class tables.
+const NumClasses = int(numClasses)
 
 // String names the class.
 func (c Class) String() string {
@@ -84,13 +89,34 @@ func (c Class) Persistent() bool {
 	return c == PersistentRead || c == PersistentWrite
 }
 
+// WeightSource resolves an application's effective I/O weight at tag
+// time. The shares tree implements it for the hierarchical runtime
+// control plane; FixedWeight bridges direct request construction.
+// Resolution happens when a scheduler computes the request's start and
+// finish tags, so a weight change in the source takes effect on the
+// next tagged request without touching queued ones.
+type WeightSource interface {
+	// EffectiveWeight returns the weight to tag (app, class) with,
+	// plus the version (epoch) of the weight table it came from.
+	// Weights must be positive and finite; only relative values
+	// matter.
+	EffectiveWeight(app AppID, class Class) (weight float64, epoch uint64)
+}
+
+// FixedWeight is a WeightSource that always resolves to a constant —
+// the flat per-request weight the pre-tree code paths used.
+type FixedWeight float64
+
+// EffectiveWeight implements WeightSource.
+func (f FixedWeight) EffectiveWeight(AppID, Class) (float64, uint64) { return float64(f), 0 }
+
 // Request is one tagged I/O operation presented to a scheduler.
 type Request struct {
 	// App is the issuing application's cluster-wide identifier.
 	App AppID
-	// Weight is the application's I/O service weight; only relative
-	// values matter. Must be positive.
-	Weight float64
+	// Shares resolves the application's effective I/O weight when the
+	// scheduler tags the request (see WeightSource). Required.
+	Shares WeightSource
 	// Class is the I/O phase.
 	Class Class
 	// Size is the transfer size in bytes.
@@ -100,6 +126,8 @@ type Request struct {
 	OnDone func(latency float64)
 
 	// Scheduling state (owned by the scheduler).
+	weight    float64
+	epoch     uint64
 	arrive    float64
 	dispatch  float64
 	cost      float64
@@ -125,6 +153,14 @@ func (r *Request) Cost() float64 { return r.cost }
 // with the scheduler's identity it uniquely names a request.
 func (r *Request) Seq() uint64 { return r.seq }
 
+// Weight returns the effective weight the scheduler resolved at tag
+// time (zero before submission).
+func (r *Request) Weight() float64 { return r.weight }
+
+// ShareEpoch returns the weight-table version the request's weight was
+// resolved against (zero before submission, and for fixed sources).
+func (r *Request) ShareEpoch() uint64 { return r.epoch }
+
 // MarkExternalArrival records the arrival time and scheduler-local
 // sequence number for a request handled by a scheduler implemented
 // outside this package (the cgroups baselines). Schedulers in this
@@ -141,19 +177,35 @@ func (r *Request) StartTag() float64 { return r.startTag }
 // FinishTag returns the SFQ finish tag assigned at arrival.
 func (r *Request) FinishTag() float64 { return r.finishTag }
 
-// validate panics on malformed requests; requests are constructed by the
-// framework, so malformedness is a programming error.
-func (r *Request) validate() {
+// prepare validates the request and resolves its effective weight
+// through the weight source. Schedulers call it at the top of Submit —
+// the tag-time resolution point — and surface the error to the caller
+// instead of panicking: with weights arriving from a runtime control
+// plane, a malformed request is an input error, not a programming one.
+func (r *Request) prepare() error {
 	if r.App == "" {
-		panic("iosched: request without app id")
-	}
-	if r.Weight <= 0 {
-		panic(fmt.Sprintf("iosched: request for %q with non-positive weight %g", r.App, r.Weight))
+		return fmt.Errorf("iosched: request without app id")
 	}
 	if r.Size < 0 {
-		panic(fmt.Sprintf("iosched: request for %q with negative size %g", r.App, r.Size))
+		return fmt.Errorf("iosched: request for %q with negative size %g", r.App, r.Size)
 	}
 	if r.Class < 0 || r.Class >= numClasses {
-		panic(fmt.Sprintf("iosched: request for %q with unknown class %d", r.App, int(r.Class)))
+		return fmt.Errorf("iosched: request for %q with unknown class %d", r.App, int(r.Class))
 	}
+	if r.Shares == nil {
+		return fmt.Errorf("iosched: request for %q without a weight source", r.App)
+	}
+	w, epoch := r.Shares.EffectiveWeight(r.App, r.Class)
+	if !(w > 0) || math.IsInf(w, 1) {
+		return fmt.Errorf("iosched: request for %q resolved non-positive weight %g", r.App, w)
+	}
+	r.weight = w
+	r.epoch = epoch
+	return nil
 }
+
+// Resolve runs the same validation and weight resolution as a
+// scheduler's Submit, for schedulers implemented outside this package
+// (the cgroups baselines) whose uncontrolled paths bypass an inner
+// SFQ.
+func (r *Request) Resolve() error { return r.prepare() }

@@ -44,12 +44,16 @@ type resFlow struct {
 // NewReservation builds the strict-partitioning scheduler. rates gives
 // each app's reserved rate in cost units per second; defaultRate
 // applies to unlisted apps and must be positive if any such app may
-// submit.
-func NewReservation(eng *sim.Engine, dev Backend, rates map[AppID]float64, defaultRate float64) *Reservation {
+// submit. Rates are validated here — reservation configs arrive from
+// the public cluster config, so a bad one is an input error.
+func NewReservation(eng *sim.Engine, dev Backend, rates map[AppID]float64, defaultRate float64) (*Reservation, error) {
 	for app, r := range rates {
 		if r <= 0 {
-			panic(fmt.Sprintf("iosched: reservation rate for %q must be positive, got %g", app, r))
+			return nil, fmt.Errorf("iosched: reservation rate for %q must be positive, got %g", app, r)
 		}
+	}
+	if defaultRate < 0 {
+		return nil, fmt.Errorf("iosched: default reservation rate must be non-negative, got %g", defaultRate)
 	}
 	return &Reservation{
 		eng:         eng,
@@ -58,7 +62,7 @@ func NewReservation(eng *sim.Engine, dev Backend, rates map[AppID]float64, defau
 		rates:       rates,
 		defaultRate: defaultRate,
 		flows:       make(map[AppID]*resFlow),
-	}
+	}, nil
 }
 
 var _ Scheduler = (*Reservation)(nil)
@@ -91,9 +95,25 @@ func (r *Reservation) Apps() []AppID {
 	return out
 }
 
-// Submit implements Scheduler.
-func (r *Reservation) Submit(req *Request) {
-	req.validate()
+// Submit implements Scheduler. A request from an app with no
+// reservation and no default rate is rejected with an error — the
+// non-work-conserving partitioning has no bandwidth to give it.
+func (r *Reservation) Submit(req *Request) error {
+	if err := req.prepare(); err != nil {
+		return err
+	}
+	f := r.flows[req.App]
+	if f == nil {
+		rate, ok := r.rates[req.App]
+		if !ok {
+			rate = r.defaultRate
+		}
+		if rate <= 0 {
+			return fmt.Errorf("iosched: no reservation for app %q and no default rate", req.App)
+		}
+		f = &resFlow{rate: rate, last: r.eng.Now()}
+		r.flows[req.App] = f
+	}
 	req.arrive = r.eng.Now()
 	req.cost = r.dev.Cost(req.Class.OpKind(), req.Size)
 	req.seq = r.seq
@@ -107,27 +127,16 @@ func (r *Reservation) Submit(req *Request) {
 		})
 	}
 
-	f := r.flows[req.App]
-	if f == nil {
-		rate, ok := r.rates[req.App]
-		if !ok {
-			rate = r.defaultRate
-		}
-		if rate <= 0 {
-			panic(fmt.Sprintf("iosched: no reservation for app %q and no default rate", req.App))
-		}
-		f = &resFlow{rate: rate, last: r.eng.Now()}
-		r.flows[req.App] = f
-	}
 	r.refill(f)
 	if len(f.queue) == 0 && f.credits >= req.cost {
 		f.credits -= req.cost
 		r.dispatch(req)
-		return
+		return nil
 	}
 	f.queue = append(f.queue, req)
 	r.queued++
 	r.armRelease(f)
+	return nil
 }
 
 func (r *Reservation) refill(f *resFlow) {

@@ -12,7 +12,11 @@ func newReservation(t *testing.T, rates map[AppID]float64, def float64) (*sim.En
 	t.Helper()
 	eng := sim.NewEngine()
 	dev := storage.NewDevice(eng, "d", flatSpec())
-	return eng, NewReservation(eng, dev, rates, def), dev
+	s, err := NewReservation(eng, dev, rates, def)
+	if err != nil {
+		t.Fatalf("NewReservation: %v", err)
+	}
+	return eng, s, dev
 }
 
 func TestReservationPacesEachApp(t *testing.T) {
@@ -76,30 +80,32 @@ func TestReservationDefaultRate(t *testing.T) {
 	}
 }
 
-func TestReservationUnknownAppPanics(t *testing.T) {
+func TestReservationUnknownAppRejected(t *testing.T) {
 	_, s, _ := newReservation(t, map[AppID]float64{"A": 1e6}, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unreserved app accepted with no default rate")
-		}
-	}()
-	s.Submit(&Request{App: "ghost", Weight: 1, Class: PersistentRead, Size: 1e6})
+	err := s.Submit(&Request{App: "ghost", Shares: FixedWeight(1), Class: PersistentRead, Size: 1e6})
+	if err == nil {
+		t.Fatal("unreserved app accepted with no default rate")
+	}
+	// A rejected request must leave no trace in the bookkeeping.
+	if s.Queued() != 0 || s.InFlight() != 0 {
+		t.Fatalf("rejected request left state: queued=%d inflight=%d", s.Queued(), s.InFlight())
+	}
 }
 
-func TestReservationInvalidRatePanics(t *testing.T) {
+func TestReservationInvalidRateRejected(t *testing.T) {
 	eng := sim.NewEngine()
 	dev := storage.NewDevice(eng, "d", flatSpec())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero rate accepted")
-		}
-	}()
-	NewReservation(eng, dev, map[AppID]float64{"A": 0}, 0)
+	if _, err := NewReservation(eng, dev, map[AppID]float64{"A": 0}, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := NewReservation(eng, dev, nil, -1); err == nil {
+		t.Fatal("negative default rate accepted")
+	}
 }
 
 func TestReservationAccountingAndIntrospection(t *testing.T) {
 	eng, s, _ := newReservation(t, map[AppID]float64{"B": 1e6, "A": 1e6}, 0)
-	s.Submit(&Request{App: "A", Weight: 1, Class: PersistentRead, Size: 0.5e6})
+	s.Submit(&Request{App: "A", Shares: FixedWeight(1), Class: PersistentRead, Size: 0.5e6})
 	eng.Run()
 	if got := s.Accounting().Service("A").Bytes; got != 0.5e6 {
 		t.Fatalf("accounted %v bytes", got)
@@ -122,7 +128,7 @@ func TestReservationFIFOWithinApp(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		i := i
 		s.Submit(&Request{
-			App: "A", Weight: 1, Class: PersistentRead, Size: 1e6,
+			App: "A", Shares: FixedWeight(1), Class: PersistentRead, Size: 1e6,
 			OnDone: func(float64) { order = append(order, i) },
 		})
 	}
@@ -139,7 +145,7 @@ func TestReservationObserver(t *testing.T) {
 	n := 0
 	s.SetObserver(func(*Request, float64) { n++ })
 	for i := 0; i < 3; i++ {
-		s.Submit(&Request{App: "A", Weight: 1, Class: IntermediateRead, Size: 1e6})
+		s.Submit(&Request{App: "A", Shares: FixedWeight(1), Class: IntermediateRead, Size: 1e6})
 	}
 	eng.Run()
 	if n != 3 {

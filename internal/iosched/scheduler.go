@@ -24,9 +24,12 @@ var _ Backend = (*storage.Device)(nil)
 // passes through exactly one Scheduler, which decides when to dispatch
 // it to the underlying storage.
 type Scheduler interface {
-	// Submit presents a tagged request. The scheduler owns it from this
-	// point and will eventually dispatch it and invoke OnDone.
-	Submit(*Request)
+	// Submit presents a tagged request. On success the scheduler owns
+	// it from this point and will eventually dispatch it and invoke
+	// OnDone. A non-nil error means the request was rejected (malformed
+	// or its weight failed to resolve) and the scheduler took no
+	// ownership.
+	Submit(*Request) error
 	// Name identifies the policy, e.g. "native", "sfq(d=4)", "sfq(d2)".
 	Name() string
 	// Queued returns the number of requests waiting for dispatch.
@@ -161,8 +164,10 @@ func (f *FIFO) InFlight() int { return f.inflight }
 func (f *FIFO) Accounting() *Accounting { return f.acct }
 
 // Submit implements Scheduler.
-func (f *FIFO) Submit(req *Request) {
-	req.validate()
+func (f *FIFO) Submit(req *Request) error {
+	if err := req.prepare(); err != nil {
+		return err
+	}
 	req.arrive = f.eng.Now()
 	req.dispatch = req.arrive
 	req.cost = f.dev.Cost(req.Class.OpKind(), req.Size)
@@ -194,4 +199,5 @@ func (f *FIFO) Submit(req *Request) {
 			req.OnDone(lat)
 		}
 	})
+	return nil
 }

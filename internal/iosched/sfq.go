@@ -146,7 +146,7 @@ func (s *SFQ) SuspendCoordination() {
 			f := s.flows[r.App]
 			if replay := math.Max(s.vtime, f.lastFinish); r.startTag > replay {
 				r.startTag = replay
-				r.finishTag = replay + r.cost/r.Weight
+				r.finishTag = replay + r.cost/r.weight
 			}
 			if r.finishTag > f.lastFinish {
 				f.lastFinish = r.finishTag
@@ -219,8 +219,19 @@ func (s *SFQ) TagOps() uint64 { return s.tagOps }
 //
 // where δ_f is the DSFQ delay — the service flow f received on other
 // nodes since its previous arrival here.
-func (s *SFQ) Submit(req *Request) {
-	req.validate()
+//
+// The weight w_f is resolved through the request's WeightSource right
+// here, at tag time. A live reweight therefore takes effect on the
+// flow's next arrival and cannot break tag monotonicity: S(r) is the
+// max of the virtual time and the flow's previous finish tag, both of
+// which only grow, and the new weight only scales the *increments*
+// (cost/w and δ/w) added on top. Already-queued requests keep the tags
+// they were admitted with — virtual time owes them the service they
+// were promised at arrival.
+func (s *SFQ) Submit(req *Request) error {
+	if err := req.prepare(); err != nil {
+		return err
+	}
 	req.arrive = s.eng.Now()
 	req.cost = s.dev.Cost(req.Class.OpKind(), req.Size)
 	req.seq = s.seq
@@ -247,12 +258,12 @@ func (s *SFQ) Submit(req *Request) {
 				// a partition healing): charge at most the clamp.
 				delta = s.delayClamp
 			}
-			base += delta / req.Weight
+			base += delta / req.weight
 			f.lastOther = other
 		}
 	}
 	req.startTag = math.Max(s.vtime, base)
-	req.finishTag = req.startTag + req.cost/req.Weight
+	req.finishTag = req.startTag + req.cost/req.weight
 	f.lastFinish = req.finishTag
 
 	s.queue.push(req)
@@ -267,6 +278,7 @@ func (s *SFQ) Submit(req *Request) {
 		})
 	}
 	s.dispatch()
+	return nil
 }
 
 // dispatch sends queued requests to the device while capacity remains.

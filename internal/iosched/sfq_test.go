@@ -37,7 +37,7 @@ func backlog(eng *sim.Engine, s Scheduler, app AppID, weight float64, class Clas
 	var issue func()
 	issue = func() {
 		s.Submit(&Request{
-			App: app, Weight: weight, Class: class, Size: size,
+			App: app, Shares: FixedWeight(weight), Class: class, Size: size,
 			OnDone: func(float64) {
 				*served += size
 				if eng.Now() < until {
@@ -99,7 +99,7 @@ func TestSFQDepthBoundsInFlight(t *testing.T) {
 		}
 	})
 	for i := 0; i < 20; i++ {
-		s.Submit(&Request{App: "A", Weight: 1, Class: PersistentRead, Size: 1e6})
+		s.Submit(&Request{App: "A", Shares: FixedWeight(1), Class: PersistentRead, Size: 1e6})
 	}
 	if s.InFlight() != 3 {
 		t.Fatalf("InFlight = %d immediately after burst, want 3", s.InFlight())
@@ -135,7 +135,7 @@ func TestSFQVirtualTimeMonotone(t *testing.T) {
 			app = "B"
 		}
 		eng.Schedule(rng.Float64()*5, func() {
-			s.Submit(&Request{App: app, Weight: 1 + rng.Float64()*3, Class: PersistentWrite, Size: 1e5 + rng.Float64()*1e6})
+			s.Submit(&Request{App: app, Shares: FixedWeight(1 + rng.Float64()*3), Class: PersistentWrite, Size: 1e5 + rng.Float64()*1e6})
 		})
 	}
 	eng.Run()
@@ -145,7 +145,7 @@ func TestSFQTagAlgebra(t *testing.T) {
 	eng, s := newTestSFQ(t, 1)
 	var reqs []*Request
 	for i := 0; i < 3; i++ {
-		r := &Request{App: "A", Weight: 2, Class: PersistentRead, Size: 2e6}
+		r := &Request{App: "A", Shares: FixedWeight(2), Class: PersistentRead, Size: 2e6}
 		reqs = append(reqs, r)
 		s.Submit(r)
 	}
@@ -167,8 +167,8 @@ func TestSFQTagAlgebra(t *testing.T) {
 
 func TestSFQLowerWeightMeansLaterFinishTags(t *testing.T) {
 	_, s := newTestSFQ(t, 1)
-	ra := &Request{App: "A", Weight: 4, Class: PersistentRead, Size: 1e6}
-	rb := &Request{App: "B", Weight: 1, Class: PersistentRead, Size: 1e6}
+	ra := &Request{App: "A", Shares: FixedWeight(4), Class: PersistentRead, Size: 1e6}
+	rb := &Request{App: "B", Shares: FixedWeight(1), Class: PersistentRead, Size: 1e6}
 	s.Submit(ra)
 	s.Submit(rb)
 	if rb.FinishTag() <= ra.FinishTag() {
@@ -188,23 +188,21 @@ func TestSFQInvalidDepthPanics(t *testing.T) {
 
 func TestRequestValidation(t *testing.T) {
 	cases := []Request{
-		{App: "", Weight: 1, Class: PersistentRead, Size: 1},
-		{App: "A", Weight: 0, Class: PersistentRead, Size: 1},
-		{App: "A", Weight: -1, Class: PersistentRead, Size: 1},
-		{App: "A", Weight: 1, Class: PersistentRead, Size: -5},
-		{App: "A", Weight: 1, Class: Class(99), Size: 1},
+		{App: "", Shares: FixedWeight(1), Class: PersistentRead, Size: 1},
+		{App: "A", Shares: FixedWeight(0), Class: PersistentRead, Size: 1},
+		{App: "A", Shares: FixedWeight(-1), Class: PersistentRead, Size: 1},
+		{App: "A", Shares: FixedWeight(1), Class: PersistentRead, Size: -5},
+		{App: "A", Shares: FixedWeight(1), Class: Class(99), Size: 1},
 	}
 	for i := range cases {
 		req := cases[i]
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: invalid request accepted: %+v", i, req)
-				}
-			}()
-			_, s := newTestSFQ(t, 1)
-			s.Submit(&req)
-		}()
+		_, s := newTestSFQ(t, 1)
+		if err := s.Submit(&req); err == nil {
+			t.Errorf("case %d: invalid request accepted: %+v", i, req)
+		}
+		if s.Queued() != 0 || s.InFlight() != 0 {
+			t.Errorf("case %d: rejected request left state behind", i)
+		}
 	}
 }
 
@@ -216,7 +214,7 @@ func TestFIFOPassthrough(t *testing.T) {
 		t.Fatalf("Name = %q", f.Name())
 	}
 	for i := 0; i < 10; i++ {
-		f.Submit(&Request{App: "A", Weight: 1, Class: IntermediateWrite, Size: 1e6})
+		f.Submit(&Request{App: "A", Shares: FixedWeight(1), Class: IntermediateWrite, Size: 1e6})
 	}
 	if f.InFlight() != 10 {
 		t.Fatalf("InFlight = %d, want 10 (no admission control)", f.InFlight())
@@ -265,8 +263,8 @@ func TestSFQIsolatesDespiteAggression(t *testing.T) {
 
 func TestAccountingPerClass(t *testing.T) {
 	eng, s := newTestSFQ(t, 4)
-	s.Submit(&Request{App: "A", Weight: 1, Class: PersistentRead, Size: 1e6})
-	s.Submit(&Request{App: "A", Weight: 1, Class: IntermediateWrite, Size: 2e6})
+	s.Submit(&Request{App: "A", Shares: FixedWeight(1), Class: PersistentRead, Size: 1e6})
+	s.Submit(&Request{App: "A", Shares: FixedWeight(1), Class: IntermediateWrite, Size: 2e6})
 	eng.Run()
 	svc := s.Accounting().Service("A")
 	if svc.ByClass[PersistentRead] != 1e6 || svc.ByClass[IntermediateWrite] != 2e6 {
@@ -283,7 +281,7 @@ func TestAccountingPerClass(t *testing.T) {
 func TestAccountingAppsSorted(t *testing.T) {
 	eng, s := newTestSFQ(t, 4)
 	for _, app := range []AppID{"zeta", "alpha", "mid"} {
-		s.Submit(&Request{App: app, Weight: 1, Class: PersistentRead, Size: 1e5})
+		s.Submit(&Request{App: app, Shares: FixedWeight(1), Class: PersistentRead, Size: 1e5})
 	}
 	eng.Run()
 	apps := s.Accounting().Apps()
@@ -301,8 +299,8 @@ func TestAccountingUnknownApp(t *testing.T) {
 
 func TestCostVectorMatchesService(t *testing.T) {
 	eng, s := newTestSFQ(t, 2)
-	s.Submit(&Request{App: "A", Weight: 1, Class: PersistentRead, Size: 3e6})
-	s.Submit(&Request{App: "B", Weight: 1, Class: PersistentWrite, Size: 5e6})
+	s.Submit(&Request{App: "A", Shares: FixedWeight(1), Class: PersistentRead, Size: 3e6})
+	s.Submit(&Request{App: "B", Shares: FixedWeight(1), Class: PersistentWrite, Size: 5e6})
 	eng.Run()
 	v := s.Accounting().CostVector()
 	if v["A"] != s.Accounting().Service("A").Cost || v["B"] != s.Accounting().Service("B").Cost {
@@ -369,7 +367,7 @@ func TestPropertySFQCompleteness(t *testing.T) {
 			eng.Schedule(rng.Float64()*3, func() {
 				s.Submit(&Request{
 					App:    AppID([]string{"A", "B", "C"}[rng.Intn(3)]),
-					Weight: 1 + rng.Float64()*7,
+					Shares: FixedWeight(1 + rng.Float64()*7),
 					Class:  Class(rng.Intn(4)),
 					Size:   rng.Float64() * 4e6,
 					OnDone: func(float64) { completions++ },

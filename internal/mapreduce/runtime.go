@@ -186,6 +186,13 @@ func (rt *Runtime) Submit(spec JobSpec, delay float64) (*Job, error) {
 	rt.nextID++
 
 	job := &Job{rt: rt, Spec: eff, App: app, seq: seq, state: Pending}
+	// Attribute the job in the cluster's share tree: this is where the
+	// submission-time weight and tenant membership enter the runtime
+	// control plane. A reserved tenant name is an input error, surfaced
+	// here like any other spec problem.
+	if err := rt.cluster.Shares().Bind(app, eff.Tenant, eff.Weight); err != nil {
+		return nil, err
+	}
 	// A reused AppID (consecutive Hive stages, resubmitted jobs) may
 	// have been retired at the broker when its previous job finished.
 	rt.cluster.ReviveApp(app)
@@ -446,19 +453,26 @@ func (rt *Runtime) retireIfUnused(app iosched.AppID) {
 	rt.cluster.RetireApp(app)
 }
 
-// submitIO issues one tagged request on a node for this job.
+// submitIO issues one tagged request on a node for this job. The
+// weight resolves through the cluster's share tree at tag time — the
+// job only carries its identity. A rejected request (the spec was
+// validated at submission, so this indicates control-plane misuse,
+// e.g. the job's tree node was removed mid-run) fails the job rather
+// than wedging it waiting for a completion that will never come.
 func (j *Job) submitIO(n *cluster.Node, class iosched.Class, size float64, done func()) {
-	n.SubmitIO(&iosched.Request{
-		App:    j.App,
-		Weight: j.Spec.Weight,
-		Class:  class,
-		Size:   size,
+	err := n.SubmitIO(&iosched.Request{
+		App:   j.App,
+		Class: class,
+		Size:  size,
 		OnDone: func(float64) {
 			if done != nil {
 				done()
 			}
 		},
 	})
+	if err != nil {
+		j.fail()
+	}
 }
 
 // chunked runs fn over size bytes in engine-chunk units, sequentially:

@@ -28,8 +28,16 @@ type JobSpec struct {
 	// the I/O schedulers treat them as a single flow.
 	App iosched.AppID
 
-	// Weight is the I/O service weight given to IBIS. Must be > 0.
+	// Weight is the I/O service weight given to IBIS. Must be > 0. At
+	// submission it seeds the job's node in the cluster's share tree;
+	// the control plane can change it live afterwards
+	// (shares.Tree.SetAppWeight / Sim.SetWeight).
 	Weight float64
+	// Tenant attributes the job to a named tenant in the share tree, so
+	// cluster-wide proportionality is enforced between tenants and the
+	// job competes under its tenant's aggregate share. Empty keeps the
+	// job in its own implicit singleton tenant (flat per-app behavior).
+	Tenant string
 	// CPUWeight is the fair-scheduler share for CPU slots (default 1).
 	CPUWeight float64
 	// CPUQuota caps the job's concurrently used cores cluster-wide

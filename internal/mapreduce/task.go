@@ -133,7 +133,7 @@ func (m *mapTask) consumeInput(alive func(func()) func(), done func()) {
 			return
 		}
 		m.job.submitIO(src, iosched.PersistentRead, c, func() {
-			src.SendTagged(node, m.job.App, m.job.Spec.Weight, c, afterRead)
+			src.SendTagged(node, m.job.App, c, afterRead)
 		})
 	}, done)
 }
@@ -289,7 +289,7 @@ func (r *reduceTask) fetchSegment(seg segment, done func()) {
 				land()
 				return
 			}
-			seg.srcNode.SendTagged(node, r.job.App, r.job.Spec.Weight, c, land)
+			seg.srcNode.SendTagged(node, r.job.App, c, land)
 		}))
 	}, done)
 }
@@ -395,7 +395,7 @@ func (j *Job) writeReplicated(n *cluster.Node, size float64, done func()) {
 			if target == n {
 				j.submitIO(target, iosched.PersistentWrite, c, copyDone)
 			} else {
-				n.SendTagged(target, j.App, j.Spec.Weight, c, func() {
+				n.SendTagged(target, j.App, c, func() {
 					j.submitIO(target, iosched.PersistentWrite, c, copyDone)
 				})
 			}

@@ -82,12 +82,15 @@ type Record struct {
 	// Event is the lifecycle point.
 	Event iosched.ProbeEvent
 	// App, Class, Seq, Size, Weight describe the request; Seq is unique
-	// per (Node, Dev, Class direction) stream.
+	// per (Node, Dev, Class direction) stream. Weight is the effective
+	// weight resolved at tag time, and Epoch the share-tree version it
+	// was resolved against (0 for fixed weight sources).
 	App    iosched.AppID
 	Class  iosched.Class
 	Seq    uint64
 	Size   float64
 	Weight float64
+	Epoch  uint64
 	// Cost is the normalized device cost assigned at submission.
 	Cost float64
 	// StartTag, FinishTag, VTime are the SFQ tags and scheduler virtual
@@ -113,6 +116,7 @@ const DefaultCapacity = 1 << 16
 type Tracer struct {
 	buf     []Record
 	next    uint64 // total records ever written
+	epochs  []EpochMark
 	enabled bool
 }
 
@@ -156,8 +160,8 @@ func (t *Tracer) Dropped() uint64 {
 	return t.next - uint64(len(t.buf))
 }
 
-// Reset discards all records (capacity is kept).
-func (t *Tracer) Reset() { t.next = 0 }
+// Reset discards all records and epoch marks (capacity is kept).
+func (t *Tracer) Reset() { t.next = 0; t.epochs = nil }
 
 // Records returns the held records, oldest first.
 func (t *Tracer) Records() []Record {
@@ -202,7 +206,8 @@ func (p probe) Observe(req *iosched.Request, st iosched.ProbeState) {
 	r.Class = req.Class
 	r.Seq = req.Seq()
 	r.Size = req.Size
-	r.Weight = req.Weight
+	r.Weight = req.Weight()
+	r.Epoch = req.ShareEpoch()
 	r.Cost = req.Cost()
 	r.StartTag = req.StartTag()
 	r.FinishTag = req.FinishTag()
@@ -211,6 +216,34 @@ func (p probe) Observe(req *iosched.Request, st iosched.ProbeState) {
 	r.InFlight = int32(st.InFlight)
 	r.Depth = int32(st.Depth)
 	r.Latency = st.Latency
+}
+
+// EpochMark records one share-tree transition observed while tracing,
+// so an exported trace can be aligned with the control-plane timeline.
+type EpochMark struct {
+	// Time is the virtual time of the transition.
+	Time float64
+	// Epoch is the tree version after the transition.
+	Epoch uint64
+	// Detail describes the mutation ("app-weight app=a 2→6", ...).
+	Detail string
+}
+
+// NoteEpoch records a share-tree transition mark (wire it to
+// shares.Tree.OnChange). Marks are unbounded but transitions are
+// control-plane events — a handful per run, not per request.
+func (t *Tracer) NoteEpoch(time float64, epoch uint64, detail string) {
+	if !t.enabled {
+		return
+	}
+	t.epochs = append(t.epochs, EpochMark{Time: time, Epoch: epoch, Detail: detail})
+}
+
+// Epochs returns the recorded share-tree transition marks, in order.
+func (t *Tracer) Epochs() []EpochMark {
+	out := make([]EpochMark, len(t.epochs))
+	copy(out, t.epochs)
+	return out
 }
 
 // ftoa formats a float compactly and deterministically.
@@ -243,6 +276,8 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		b.WriteString(ftoa(r.Cost))
 		b.WriteString(`,"w":`)
 		b.WriteString(ftoa(r.Weight))
+		b.WriteString(`,"epoch":`)
+		b.WriteString(strconv.FormatUint(r.Epoch, 10))
 		b.WriteString(`,"stag":`)
 		b.WriteString(ftoa(r.StartTag))
 		b.WriteString(`,"ftag":`)

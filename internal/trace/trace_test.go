@@ -31,7 +31,7 @@ func runTraced(tr *trace.Tracer, nReqs int) {
 	apps := []iosched.AppID{"alpha", "beta"}
 	for i := 0; i < nReqs; i++ {
 		s.Submit(&iosched.Request{
-			App: apps[i%2], Weight: float64(1 + i%2), Class: iosched.PersistentRead, Size: 1e6,
+			App: apps[i%2], Shares: iosched.FixedWeight(float64(1 + i%2)), Class: iosched.PersistentRead, Size: 1e6,
 		})
 	}
 	eng.Run()
@@ -173,7 +173,7 @@ func TestMultiProbeFansOut(t *testing.T) {
 	s := iosched.NewSFQD(eng, dev, 2)
 	s.SetProbe(iosched.MultiProbe(t1.Probe(0, trace.DevHDFS), nil, t2.Probe(0, trace.DevLocal)))
 	for i := 0; i < 6; i++ {
-		s.Submit(&iosched.Request{App: "a", Weight: 1, Class: iosched.PersistentRead, Size: 1e6})
+		s.Submit(&iosched.Request{App: "a", Shares: iosched.FixedWeight(1), Class: iosched.PersistentRead, Size: 1e6})
 	}
 	eng.Run()
 	if t1.Total() != 18 || t2.Total() != 18 {
