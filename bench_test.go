@@ -11,6 +11,7 @@
 package ibis_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -219,6 +220,33 @@ func BenchmarkTable3_LinesOfCode(b *testing.B) {
 		}
 		b.ReportMetric(float64(res.TotalCode), "code-lines")
 		b.ReportMetric(float64(res.TotalTests), "test-lines")
+	}
+}
+
+// BenchmarkShardsFig03HDD runs the Figure 3-class HDD co-run on the
+// sharded parallel fabric at 1 worker (the serial reference every
+// parallel run must match bit for bit) and at 8 workers. The digest
+// metric positions aside, ns/op is the headline: on a multi-core host
+// workers8 should approach the Amdahl bound set by the coordinator
+// shard's event share; on a single core it documents the dispatch
+// overhead instead.
+func BenchmarkShardsFig03HDD(b *testing.B) {
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				row, err := experiments.ShardsOnce(benchScale, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if row.Violations != 0 {
+					b.Fatalf("audit violations: %d", row.Violations)
+				}
+				b.ReportMetric(float64(row.Events), "events")
+				b.ReportMetric(float64(row.Windows), "windows")
+				b.ReportMetric(float64(row.ParWindows), "parallel-windows")
+				b.ReportMetric(float64(row.Messages), "cross-shard-msgs")
+			}
+		})
 	}
 }
 

@@ -20,6 +20,22 @@
 // printed strictly in experiment order, so stdout is byte-identical to
 // a -parallel 1 run. Per-experiment wall times go to stderr (they vary
 // run to run and would otherwise break that guarantee).
+//
+// Two independent levels of parallelism compose:
+//
+//   - -parallel N is experiment-level: whole experiments run
+//     concurrently, each on its own single-threaded simulation.
+//   - -shards N is intra-experiment: the "shards" experiment runs ONE
+//     simulation across per-node engines with N worker goroutines
+//     under conservative synchronization, bit-identical to N=1.
+//
+// Use -parallel for throughput over the whole suite and -shards to
+// accelerate one large simulation; running both oversubscribes cores
+// harmlessly (the schedulers time-slice) but measures neither cleanly,
+// so benchmark runs should pin one of the two to 1. Experiments whose
+// results are wall-clock comparisons (the "shards" experiment itself)
+// print the nondeterministic numbers to stderr, e.g.
+// "shards: shards=8 speedup=3.10x".
 package main
 
 import (
@@ -35,6 +51,13 @@ import (
 	"ibis/internal/faults"
 	"ibis/internal/iosched"
 )
+
+// shardsFlag sets the worker-goroutine count for the intra-experiment
+// parallel fabric (the "shards" experiment): the one simulation is
+// partitioned into per-node engines advanced by this many workers,
+// with results bit-identical to -shards 1.
+var shardsFlag = flag.Int("shards", runtime.GOMAXPROCS(0),
+	"worker goroutines inside the sharded-fabric experiment (1 = serial)")
 
 // reweightFlag parameterizes the "reweight" experiment: a live weight
 // change scripted as t=<time>,app=<id>,w=<weight>.
@@ -181,6 +204,13 @@ func main() {
 			return r.Err
 		}
 		fmt.Fprintf(os.Stderr, "%s: wall %.1fs\n", r.Name, r.Wall.Seconds())
+		// Experiments comparing wall-clock (the sharded fabric) surface
+		// their nondeterministic numbers here, keeping stdout stable.
+		if n, ok := r.Output.(interface{ StderrNote() string }); ok {
+			if note := n.StderrNote(); note != "" {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", r.Name, note)
+			}
+		}
 		fmt.Printf("=== %s ===\n%s\n", r.Name, r.Output)
 		return nil
 	})
@@ -242,6 +272,8 @@ var extras = []namedExp{
 	{"ext-terasort-sweep", func(s float64) (fmt.Stringer, error) { return experiments.ExtTeraSortSweep(s) }},
 	{"ext-ssd-promotion", func(float64) (fmt.Stringer, error) { return experiments.ExtSSDPromotion() }},
 	{"ext-scalability", func(float64) (fmt.Stringer, error) { return experiments.ExtScalability() }},
+	// Parallel simulation: the sharded fabric vs its own serial mode.
+	{"shards", func(s float64) (fmt.Stringer, error) { return experiments.Shards(s, *shardsFlag) }},
 	// Robustness: coordination-plane fault injection.
 	{"fault-matrix", func(float64) (fmt.Stringer, error) { return experiments.FaultMatrix() }},
 	{"fault-custom", func(float64) (fmt.Stringer, error) { return experiments.FaultCustom(customFaultSpec()) }},

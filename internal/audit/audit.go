@@ -457,19 +457,54 @@ func (s *schedState) flow(app iosched.AppID) *flowAudit {
 // tagEps is the float-comparison slack for tag arithmetic.
 func tagEps(x, y float64) float64 { return 1e-9 * (math.Abs(x) + math.Abs(y) + 1) }
 
+// sample captures everything the invariant checks read from a request
+// at probe time. Request objects are pooled and retagged after
+// completion, so deferred auditing (see Deferred) must copy the fields
+// eagerly rather than hold the pointer.
+type sample struct {
+	app    iosched.AppID
+	class  iosched.Class
+	start  float64
+	finish float64
+	cost   float64
+	weight float64
+	st     iosched.ProbeState
+}
+
+func makeSample(req *iosched.Request, st iosched.ProbeState) sample {
+	return sample{
+		app:    req.App,
+		class:  req.Class,
+		start:  req.StartTag(),
+		finish: req.FinishTag(),
+		cost:   req.Cost(),
+		weight: req.Weight(),
+		st:     st,
+	}
+}
+
 // Observe implements iosched.Probe.
 func (s *schedState) Observe(req *iosched.Request, st iosched.ProbeState) {
+	smp := makeSample(req, st)
+	s.observeSample(&smp)
+}
+
+// observeSample runs the full invariant battery on one captured
+// lifecycle event. It is the single entry point for both the live path
+// (Observe) and the deferred sharded path (Deferred.Finish).
+func (s *schedState) observeSample(smp *sample) {
 	a := s.a
+	st := smp.st
 	if st.Time > a.lastTime {
 		a.lastTime = st.Time
 	}
 	a.count("lifecycle")
 	if st.Queued < 0 || st.InFlight < 0 {
-		a.violate(Violation{Time: st.Time, Invariant: "lifecycle", Node: s.node, Dev: s.dev, App: req.App,
+		a.violate(Violation{Time: st.Time, Invariant: "lifecycle", Node: s.node, Dev: s.dev, App: smp.app,
 			Detail: fmt.Sprintf("negative counters: queued=%d inflight=%d", st.Queued, st.InFlight)})
 	}
 	if st.Event == iosched.ProbeComplete && st.Latency < 0 {
-		a.violate(Violation{Time: st.Time, Invariant: "lifecycle", Node: s.node, Dev: s.dev, App: req.App,
+		a.violate(Violation{Time: st.Time, Invariant: "lifecycle", Node: s.node, Dev: s.dev, App: smp.app,
 			Detail: fmt.Sprintf("negative latency %g", st.Latency)})
 	}
 
@@ -481,12 +516,12 @@ func (s *schedState) Observe(req *iosched.Request, st iosched.ProbeState) {
 		s.maxDepth = st.Depth
 	}
 	s.lastDepth = st.Depth
-	if s.readsOnly && req.Class.OpKind() != storage.Read {
+	if s.readsOnly && smp.class.OpKind() != storage.Read {
 		// Uncontrolled write-back pass-through: lifecycle sanity only.
 		return
 	}
 
-	f := s.flow(req.App)
+	f := s.flow(smp.app)
 	switch st.Event {
 	case iosched.ProbeArrive:
 		if f.waiting == 0 && f.zeroSince >= 0 {
@@ -498,24 +533,24 @@ func (s *schedState) Observe(req *iosched.Request, st iosched.ProbeState) {
 		f.waiting++
 		if s.sfq {
 			a.count("start-tag-monotonicity")
-			if req.StartTag() < f.lastStart-tagEps(req.StartTag(), f.lastStart) {
-				a.violate(Violation{Time: st.Time, Invariant: "start-tag-monotonicity", Node: s.node, Dev: s.dev, App: req.App,
-					Detail: fmt.Sprintf("start tag %.9g < previous %.9g", req.StartTag(), f.lastStart)})
+			if smp.start < f.lastStart-tagEps(smp.start, f.lastStart) {
+				a.violate(Violation{Time: st.Time, Invariant: "start-tag-monotonicity", Node: s.node, Dev: s.dev, App: smp.app,
+					Detail: fmt.Sprintf("start tag %.9g < previous %.9g", smp.start, f.lastStart)})
 			}
-			f.lastStart = req.StartTag()
+			f.lastStart = smp.start
 			a.count("tag-consistency")
-			want := req.StartTag() + req.Cost()/req.Weight()
-			if math.Abs(req.FinishTag()-want) > tagEps(req.FinishTag(), want) {
-				a.violate(Violation{Time: st.Time, Invariant: "tag-consistency", Node: s.node, Dev: s.dev, App: req.App,
-					Detail: fmt.Sprintf("finish tag %.9g != start %.9g + cost/w %.9g", req.FinishTag(), req.StartTag(), req.Cost()/req.Weight())})
+			want := smp.start + smp.cost/smp.weight
+			if math.Abs(smp.finish-want) > tagEps(smp.finish, want) {
+				a.violate(Violation{Time: st.Time, Invariant: "tag-consistency", Node: s.node, Dev: s.dev, App: smp.app,
+					Detail: fmt.Sprintf("finish tag %.9g != start %.9g + cost/w %.9g", smp.finish, smp.start, smp.cost/smp.weight)})
 			}
-			if req.StartTag() < st.VTime-tagEps(req.StartTag(), st.VTime) {
-				a.violate(Violation{Time: st.Time, Invariant: "tag-consistency", Node: s.node, Dev: s.dev, App: req.App,
-					Detail: fmt.Sprintf("start tag %.9g below virtual time %.9g at arrival", req.StartTag(), st.VTime)})
+			if smp.start < st.VTime-tagEps(smp.start, st.VTime) {
+				a.violate(Violation{Time: st.Time, Invariant: "tag-consistency", Node: s.node, Dev: s.dev, App: smp.app,
+					Detail: fmt.Sprintf("start tag %.9g below virtual time %.9g at arrival", smp.start, st.VTime)})
 			}
 		}
 		if s.coordinated && a.cluster != nil {
-			a.cluster.arrive(req.App, s.id, st.Time)
+			a.cluster.arrive(smp.app, s.id, st.Time)
 		}
 	case iosched.ProbeDispatch:
 		f.waiting--
@@ -524,19 +559,19 @@ func (s *schedState) Observe(req *iosched.Request, st iosched.ProbeState) {
 			f.zeroSince = st.Time
 		}
 		if s.coordinated && a.cluster != nil {
-			a.cluster.dispatch(req.App, s.id, st.Time)
+			a.cluster.dispatch(smp.app, s.id, st.Time)
 		}
 		if s.sfq {
 			a.count("vtime-monotonicity")
 			if st.VTime < s.lastVTime-tagEps(st.VTime, s.lastVTime) {
-				a.violate(Violation{Time: st.Time, Invariant: "vtime-monotonicity", Node: s.node, Dev: s.dev, App: req.App,
+				a.violate(Violation{Time: st.Time, Invariant: "vtime-monotonicity", Node: s.node, Dev: s.dev, App: smp.app,
 					Detail: fmt.Sprintf("virtual time %.9g < previous %.9g", st.VTime, s.lastVTime)})
 			}
 			s.lastVTime = st.VTime
 			if st.Depth > 0 {
 				a.count("depth-bound")
 				if st.InFlight > st.Depth {
-					a.violate(Violation{Time: st.Time, Invariant: "depth-bound", Node: s.node, Dev: s.dev, App: req.App,
+					a.violate(Violation{Time: st.Time, Invariant: "depth-bound", Node: s.node, Dev: s.dev, App: smp.app,
 						Detail: fmt.Sprintf("dispatched with %d in flight > depth %d", st.InFlight, st.Depth)})
 				}
 			}
@@ -545,18 +580,18 @@ func (s *schedState) Observe(req *iosched.Request, st iosched.ProbeState) {
 		if s.sfq && st.Depth > 0 {
 			a.count("work-conservation")
 			if st.Queued > 0 && st.InFlight < st.Depth {
-				a.violate(Violation{Time: st.Time, Invariant: "work-conservation", Node: s.node, Dev: s.dev, App: req.App,
+				a.violate(Violation{Time: st.Time, Invariant: "work-conservation", Node: s.node, Dev: s.dev, App: smp.app,
 					Detail: fmt.Sprintf("queue has %d waiting but only %d of %d slots in flight", st.Queued, st.InFlight, st.Depth)})
 			}
 		}
-		f.service += req.Cost()
+		f.service += smp.cost
 		f.requests++
-		f.weight = req.Weight()
-		if u := req.Cost() / req.Weight(); u > f.maxUnit {
+		f.weight = smp.weight
+		if u := smp.cost / smp.weight; u > f.maxUnit {
 			f.maxUnit = u
 		}
 		if s.coordinated && a.cluster != nil {
-			a.cluster.complete(req, s.id, st.Time)
+			a.cluster.complete(smp.app, smp.cost, smp.weight, s.id, st.Time)
 		}
 	}
 }
@@ -771,12 +806,12 @@ func (c *clusterState) dispatch(app iosched.AppID, sched int, t float64) {
 	}
 }
 
-func (c *clusterState) complete(req *iosched.Request, sched int, t float64) {
-	f := c.flow(req.App)
-	f.service += req.Cost()
+func (c *clusterState) complete(app iosched.AppID, cost, weight float64, sched int, t float64) {
+	f := c.flow(app)
+	f.service += cost
 	f.requests++
-	f.weight = req.Weight()
-	if u := req.Cost() / req.Weight(); u > f.maxUnit {
+	f.weight = weight
+	if u := cost / weight; u > f.maxUnit {
 		f.maxUnit = u
 	}
 	// Track the deepest dispatch bound any coordinated scheduler used.

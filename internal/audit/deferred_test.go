@@ -1,0 +1,94 @@
+package audit_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ibis/internal/audit"
+	"ibis/internal/iosched"
+	"ibis/internal/sim"
+	"ibis/internal/storage"
+)
+
+// feedStream pushes a fixed lifecycle stream carrying five invariant
+// breaches through the probe, mutating the (shared, pool-style) request
+// object between observations — the deferred path must have copied
+// every field eagerly or the replay sees retagged garbage.
+func feedStream(p iosched.Probe) {
+	req := &iosched.Request{App: "x", Shares: iosched.FixedWeight(1), Class: iosched.PersistentRead, Size: 1e6}
+	p.Observe(req, iosched.ProbeState{Event: iosched.ProbeComplete, Time: 0.5, Latency: -0.5})
+	req.App = "y" // simulate freelist reuse between events
+	p.Observe(req, iosched.ProbeState{Event: iosched.ProbeArrive, Time: 1.0, Queued: -1})
+	req.App = "z"
+	p.Observe(req, iosched.ProbeState{Event: iosched.ProbeDispatch, Time: 1.5, InFlight: 5, Depth: 2})
+	p.Observe(req, iosched.ProbeState{Event: iosched.ProbeDispatch, Time: 2.0, InFlight: 1, Depth: 2, VTime: 10})
+	p.Observe(req, iosched.ProbeState{Event: iosched.ProbeDispatch, Time: 2.5, InFlight: 2, Depth: 2, VTime: 5})
+	p.Observe(req, iosched.ProbeState{Event: iosched.ProbeComplete, Time: 3.0, Queued: 3, InFlight: 0, Depth: 2, Latency: 0.1})
+}
+
+func newAuditedSched() iosched.Scheduler {
+	eng := sim.NewEngine()
+	dev := storage.NewDevice(eng, "d", storage.Spec{
+		Name: "flat", ReadBW: 100e6, WriteBW: 100e6,
+		Curve: []float64{1}, CurveDecay: 1, MinCurve: 1,
+	})
+	return iosched.NewSFQD(eng, dev, 2)
+}
+
+// TestDeferredReplayMatchesDirect pins the deferred-audit contract: a
+// stream recorded into per-shard logs and replayed at Finish yields
+// exactly the verdict the direct (online) auditor gives the same
+// stream — same violation count, same check tallies — and nothing is
+// judged before Finish.
+func TestDeferredReplayMatchesDirect(t *testing.T) {
+	direct := audit.New(audit.Options{})
+	feedStream(direct.Probe(0, "disk", newAuditedSched()))
+	direct.Finish()
+	if direct.ViolationCount() == 0 {
+		t.Fatal("direct auditor missed the injected breaches; test stream is broken")
+	}
+
+	deferredAud := audit.New(audit.Options{})
+	d := audit.NewDeferred(deferredAud, 2)
+	feedStream(d.Probe(1, 0, "disk", newAuditedSched()))
+	if got := deferredAud.ViolationCount(); got != 0 {
+		t.Fatalf("deferred auditor judged %d violations before Finish, want 0", got)
+	}
+	d.Finish()
+
+	if got, want := deferredAud.ViolationCount(), direct.ViolationCount(); got != want {
+		t.Fatalf("deferred replay found %d violations, direct found %d", got, want)
+	}
+	if !reflect.DeepEqual(deferredAud.Checks(), direct.Checks()) {
+		t.Fatalf("check tallies differ:\n  deferred %v\n  direct   %v", deferredAud.Checks(), direct.Checks())
+	}
+	for i, v := range deferredAud.Violations() {
+		if v.Invariant != direct.Violations()[i].Invariant {
+			t.Fatalf("violation %d: deferred %q vs direct %q", i, v.Invariant, direct.Violations()[i].Invariant)
+		}
+	}
+}
+
+// TestDeferredMergesShardLogsInTimeOrder plants one breach per shard
+// with the later breach in the lower-numbered shard's log: if Finish
+// concatenated the logs instead of merging by (time, shard), the
+// violations would come out time-reversed.
+func TestDeferredMergesShardLogsInTimeOrder(t *testing.T) {
+	a := audit.New(audit.Options{})
+	d := audit.NewDeferred(a, 3)
+	p1 := d.Probe(1, 0, "disk", newAuditedSched())
+	p2 := d.Probe(2, 1, "disk", newAuditedSched())
+	req := &iosched.Request{App: "x", Shares: iosched.FixedWeight(1), Class: iosched.PersistentRead, Size: 1e6}
+	// Shard 2's breach happens at t=1.0, shard 1's at t=2.0 — log
+	// order (shard 1 first) is the reverse of time order.
+	p2.Observe(req, iosched.ProbeState{Event: iosched.ProbeComplete, Time: 1.0, Latency: -1})
+	p1.Observe(req, iosched.ProbeState{Event: iosched.ProbeComplete, Time: 2.0, Latency: -1})
+	d.Finish()
+	vs := a.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("replay found %d violations, want 2: %v", len(vs), vs)
+	}
+	if vs[0].Time != 1.0 || vs[1].Time != 2.0 {
+		t.Fatalf("violations out of time order (logs concatenated, not merged): %v then %v", vs[0], vs[1])
+	}
+}

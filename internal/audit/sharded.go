@@ -1,0 +1,147 @@
+package audit
+
+import (
+	"sort"
+
+	"ibis/internal/iosched"
+)
+
+// Deferred adapts an Auditor to sharded parallel simulation. The
+// auditor's window and cluster state is deeply shared — one Observe can
+// touch per-scheduler flows, the cluster aggregate and the global
+// violation list — so it cannot run inside parallel windows. Instead,
+// each shard's probes append eagerly-captured samples to that shard's
+// private log (append-only, no synchronization, no foreign state), and
+// Finish merges the logs by (event time, shard, log order) and replays
+// them through the unmodified invariant battery.
+//
+// The merge key makes the replayed stream — and with it every check
+// count and violation — a pure function of the simulated system,
+// independent of worker count: per-shard logs are already in
+// nondecreasing time order (each shard's engine clock is monotonic),
+// and ties across shards are broken by shard id exactly as the trace
+// merge does.
+//
+// Samples must be value copies: request objects are pooled and
+// retagged after completion, so by replay time the pointer a live probe
+// would have dereferenced describes a different request.
+type Deferred struct {
+	a      *Auditor
+	shards []shardLog
+	done   bool
+}
+
+type shardLog struct {
+	entries []deferredEntry
+}
+
+const (
+	entrySample = iota
+	entryDegradeStart
+	entryDegradeEnd
+)
+
+type deferredEntry struct {
+	time  float64
+	kind  uint8
+	sched *schedState // sample entries
+	smp   sample
+	node  int // degrade entries
+	dev   string
+}
+
+// NewDeferred wraps an auditor for an n-shard run.
+func NewDeferred(a *Auditor, n int) *Deferred {
+	return &Deferred{a: a, shards: make([]shardLog, n)}
+}
+
+// Auditor returns the wrapped auditor. Read its results only after
+// Finish.
+func (d *Deferred) Auditor() *Auditor { return d.a }
+
+// deferredProbe records one scheduler's lifecycle events into its
+// shard's log.
+type deferredProbe struct {
+	d     *Deferred
+	shard int
+	sched *schedState
+}
+
+// Observe implements iosched.Probe.
+func (p *deferredProbe) Observe(req *iosched.Request, st iosched.ProbeState) {
+	log := &p.d.shards[p.shard]
+	log.entries = append(log.entries, deferredEntry{
+		time:  st.Time,
+		kind:  entrySample,
+		sched: p.sched,
+		smp:   makeSample(req, st),
+	})
+}
+
+// Probe registers the scheduler at (node, dev) with the auditor and
+// returns a probe that records into shard's log. The probe must only be
+// driven by that shard's engine.
+func (d *Deferred) Probe(shard, node int, dev string, sched iosched.Scheduler) iosched.Probe {
+	s := d.a.Probe(node, dev, sched).(*schedState)
+	return &deferredProbe{d: d, shard: shard, sched: s}
+}
+
+// NoteDegradeStart is the deferred analog of Auditor.NoteDegradeStart;
+// it is called from the degraded client's shard and replayed in merged
+// order, so the regime switch lands between exactly the samples it did
+// in the simulation.
+func (d *Deferred) NoteDegradeStart(shard, node int, dev string, t float64) {
+	log := &d.shards[shard]
+	log.entries = append(log.entries, deferredEntry{time: t, kind: entryDegradeStart, node: node, dev: dev})
+}
+
+// NoteDegradeEnd is the deferred analog of Auditor.NoteDegradeEnd.
+func (d *Deferred) NoteDegradeEnd(shard, node int, dev string, t float64) {
+	log := &d.shards[shard]
+	log.entries = append(log.entries, deferredEntry{time: t, kind: entryDegradeEnd, node: node, dev: dev})
+}
+
+// Finish merges the shard logs deterministically, replays them through
+// the auditor, and closes its windows (Auditor.Finish). Call once the
+// fabric has drained; subsequent calls are no-ops beyond re-running the
+// auditor's own idempotent Finish.
+func (d *Deferred) Finish() {
+	if !d.done {
+		d.done = true
+		type tagged struct {
+			shard, idx int
+		}
+		var order []tagged
+		for si := range d.shards {
+			for i := range d.shards[si].entries {
+				order = append(order, tagged{shard: si, idx: i})
+			}
+		}
+		sort.Slice(order, func(i, j int) bool {
+			a, b := order[i], order[j]
+			ea, eb := &d.shards[a.shard].entries[a.idx], &d.shards[b.shard].entries[b.idx]
+			if ea.time != eb.time {
+				return ea.time < eb.time
+			}
+			if a.shard != b.shard {
+				return a.shard < b.shard
+			}
+			return a.idx < b.idx
+		})
+		for _, t := range order {
+			e := &d.shards[t.shard].entries[t.idx]
+			switch e.kind {
+			case entrySample:
+				e.sched.observeSample(&e.smp)
+			case entryDegradeStart:
+				d.a.NoteDegradeStart(e.node, e.dev, e.time)
+			case entryDegradeEnd:
+				d.a.NoteDegradeEnd(e.node, e.dev, e.time)
+			}
+		}
+		for si := range d.shards {
+			d.shards[si].entries = nil
+		}
+	}
+	d.a.Finish()
+}

@@ -357,6 +357,25 @@ type Transport interface {
 	Unregister(id string)
 }
 
+// AsyncTransport is the message-passing variant of Transport used when
+// the broker lives on a different simulation shard than the client: the
+// request travels as an inter-shard message, the broker processes it on
+// its own shard, and the response travels back the same way. done is
+// invoked on the client's shard when the response arrives — possibly
+// never (request or response lost), which the client covers with its
+// own timeout event. A transport given to ClientOptions.Transport may
+// additionally implement AsyncTransport; the client then uses the
+// async protocol exclusively.
+type AsyncTransport interface {
+	// ExchangeAsync sends the vector toward the broker; done fires when
+	// (and if) the response arrives. A non-nil err reports a delivered
+	// failure (e.g. broker down); a lost message simply never calls
+	// done.
+	ExchangeAsync(id string, vector map[iosched.AppID]float64, done func(resp Response, err error))
+	// RegisterAsync is the async registration handshake.
+	RegisterAsync(id string, done func(err error))
+}
+
 // directTransport is the perfectly reliable, instantaneous in-process
 // transport the pre-fault broker modeled.
 type directTransport struct{ b *Broker }
@@ -473,6 +492,7 @@ type ClientOptions struct {
 type Client struct {
 	id        string
 	transport Transport
+	async     AsyncTransport // non-nil when transport is asynchronous
 	reporter  Reporter
 	eng       *sim.Engine
 	period    float64
@@ -545,6 +565,7 @@ func NewClientWithOptions(eng *sim.Engine, id string, reporter Reporter, opts Cl
 		failingSince: -1,
 		nextSeq:      1,
 	}
+	c.async, _ = opts.Transport.(AsyncTransport)
 	var tick func()
 	tick = func() {
 		c.tick()
@@ -609,6 +630,10 @@ func (c *Client) sendAttempt() {
 		c.sendRegister()
 		return
 	}
+	if c.async != nil {
+		c.sendAttemptAsync()
+		return
+	}
 	now := c.eng.Now()
 	seq := c.nextSeq
 	c.nextSeq++
@@ -652,10 +677,49 @@ func (c *Client) sendAttempt() {
 	})
 }
 
+// sendAttemptAsync is the exchange attempt over an AsyncTransport. The
+// response may arrive at any later event, or never; a local timeout
+// daemon bounds the wait. The delivered/timedOut flags arbitrate the
+// race between the two continuations — both run on the client's shard,
+// so plain variables suffice.
+func (c *Client) sendAttemptAsync() {
+	seq := c.nextSeq
+	c.nextSeq++
+	c.health.Attempts++
+	vec := c.reporter.CostVector()
+	epoch := c.epoch
+	delivered, timedOut := false, false
+	c.eng.ScheduleDaemon(c.policy.Timeout, func() {
+		if delivered || c.epoch != epoch {
+			return
+		}
+		timedOut = true
+		c.health.Timeouts++
+		c.fail(c.eng.Now())
+	})
+	c.async.ExchangeAsync(c.id, vec, func(resp Response, err error) {
+		if c.epoch != epoch || timedOut || seq <= c.appliedHi {
+			c.health.StaleDrops++
+			return
+		}
+		delivered = true
+		if err != nil {
+			c.fail(c.eng.Now())
+			return
+		}
+		c.appliedHi = seq
+		c.apply(vec, resp, c.eng.Now())
+	})
+}
+
 // sendRegister performs the explicit post-restart handshake; on success
 // it chains straight into a normal exchange to re-seed the client's
 // remote-service view.
 func (c *Client) sendRegister() {
+	if c.async != nil {
+		c.sendRegisterAsync()
+		return
+	}
 	now := c.eng.Now()
 	c.health.Attempts++
 	rtt, err := c.transport.Register(c.id)
@@ -693,6 +757,37 @@ func (c *Client) sendRegister() {
 		return
 	}
 	c.eng.ScheduleDaemon(rtt, finish)
+}
+
+// sendRegisterAsync is the registration handshake over an
+// AsyncTransport, mirroring sendAttemptAsync's timeout arbitration.
+func (c *Client) sendRegisterAsync() {
+	c.health.Attempts++
+	epoch := c.epoch
+	delivered, timedOut := false, false
+	c.eng.ScheduleDaemon(c.policy.Timeout, func() {
+		if delivered || c.epoch != epoch {
+			return
+		}
+		timedOut = true
+		c.health.Timeouts++
+		c.fail(c.eng.Now())
+	})
+	c.async.RegisterAsync(c.id, func(err error) {
+		if c.epoch != epoch || timedOut {
+			c.health.StaleDrops++
+			return
+		}
+		delivered = true
+		if err != nil {
+			c.fail(c.eng.Now())
+			return
+		}
+		c.needRegister = false
+		c.health.ReRegisters++
+		c.attempt = 0
+		c.sendAttempt()
+	})
 }
 
 // apply folds a successful response into the client's remote-service

@@ -199,6 +199,13 @@ type Node struct {
 	// shares is the cluster's weight control plane; tagged sends
 	// resolve their weight through it.
 	shares *shares.Tree
+
+	// shard/coord are set only in sharded mode (NewSharded): shard owns
+	// this node's devices, NICs and schedulers; coord is the
+	// coordinator shard whose engine drives the control plane and to
+	// which every completion callback bounces back.
+	shard *sim.Shard
+	coord *sim.Shard
 }
 
 // FreeCores returns unallocated CPU slots.
@@ -207,7 +214,9 @@ func (n *Node) FreeCores() int { return n.Cores - n.UsedCores }
 // FreeMemGB returns unallocated task memory.
 func (n *Node) FreeMemGB() float64 { return n.MemGB - n.UsedMemGB }
 
-// Cluster is the assembled system.
+// Cluster is the assembled system. In sharded mode Eng is the
+// coordinator shard's engine (shard 0); each node's devices live on
+// that node's own shard engine.
 type Cluster struct {
 	Eng    *sim.Engine
 	Nodes  []*Node
@@ -215,10 +224,15 @@ type Cluster struct {
 	cfg    Config
 	shares *shares.Tree
 
+	fabric    *sim.Fabric // nil in single-engine mode
 	transport broker.Transport
 	clients   []ClientRef
 	byID      map[string]*broker.Client
 	devByName map[string]*storage.Device
+	// engByID maps "node<i>-<dev>" — both a device name and a
+	// coordination-client id — to the engine that owns it, so fault
+	// schedules arm on the right shard.
+	engByID map[string]*sim.Engine
 }
 
 // Shares returns the cluster's weight control plane.
@@ -248,6 +262,13 @@ type probeSetter interface {
 // of the device specs (one profile per distinct spec, as the paper's
 // one-time calibration).
 func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
+	return assemble(eng, nil, cfg)
+}
+
+// assemble builds the cluster on a single engine (fab == nil) or across
+// a fabric of per-node shards (fab != nil; eng is then the coordinator
+// shard's engine).
+func assemble(eng *sim.Engine, fab *sim.Fabric, cfg Config) (*Cluster, error) {
 	cfg.defaults()
 	var hdfsCtrl, localCtrl iosched.ControllerConfig
 	if cfg.Policy == SFQD2 {
@@ -266,13 +287,22 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 		cfg.Shares = shares.NewTree()
 	}
 	cfg.Shares.SetClock(eng.Now)
-	c := &Cluster{Eng: eng, cfg: cfg, shares: cfg.Shares, byID: make(map[string]*broker.Client), devByName: make(map[string]*storage.Device)}
+	c := &Cluster{
+		Eng: eng, cfg: cfg, shares: cfg.Shares, fabric: fab,
+		byID:      make(map[string]*broker.Client),
+		devByName: make(map[string]*storage.Device),
+		engByID:   make(map[string]*sim.Engine),
+	}
 	if cfg.Coordinate {
 		c.Broker = broker.New()
 		c.Broker.SetShares(c.shares)
-		if cfg.Faults != nil {
+		switch {
+		case fab != nil:
+			// Sharded: each client gets its own async transport bound
+			// to its node's shard (built in attach); no shared one.
+		case cfg.Faults != nil:
 			c.transport = faults.NewTransport(eng, cfg.Faults, c.Broker)
-		} else {
+		default:
 			c.transport = broker.NewDirectTransport(c.Broker)
 		}
 	}
@@ -283,29 +313,37 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 			MemGB:  cfg.MemGBPerNode,
 			shares: c.shares,
 		}
-		n.HDFS = storage.NewDevice(eng, fmt.Sprintf("node%d-hdfs", i), cfg.HDFSDisk)
-		n.Local = storage.NewDevice(eng, fmt.Sprintf("node%d-local", i), cfg.LocalDisk)
+		nodeEng := eng
+		if fab != nil {
+			n.shard = fab.Shard(i + 1)
+			n.coord = fab.Shard(0)
+			nodeEng = n.shard.Engine()
+		}
+		n.HDFS = storage.NewDevice(nodeEng, fmt.Sprintf("node%d-hdfs", i), cfg.HDFSDisk)
+		n.Local = storage.NewDevice(nodeEng, fmt.Sprintf("node%d-local", i), cfg.LocalDisk)
 		c.devByName[fmt.Sprintf("node%d-hdfs", i)] = n.HDFS
 		c.devByName[fmt.Sprintf("node%d-local", i)] = n.Local
-		n.nicOut = sim.NewPSResource(eng, fmt.Sprintf("node%d-nic-out", i), sim.ConstantCapacity(cfg.NICBandwidth))
-		n.nicIn = sim.NewPSResource(eng, fmt.Sprintf("node%d-nic-in", i), sim.ConstantCapacity(cfg.NICBandwidth))
+		c.engByID[fmt.Sprintf("node%d-hdfs", i)] = nodeEng
+		c.engByID[fmt.Sprintf("node%d-local", i)] = nodeEng
+		n.nicOut = sim.NewPSResource(nodeEng, fmt.Sprintf("node%d-nic-out", i), sim.ConstantCapacity(cfg.NICBandwidth))
+		n.nicIn = sim.NewPSResource(nodeEng, fmt.Sprintf("node%d-nic-in", i), sim.ConstantCapacity(cfg.NICBandwidth))
 
 		var err error
-		n.HDFSSched, err = c.buildScheduler(n.HDFS, true, hdfsCtrl)
+		n.HDFSSched, err = c.buildScheduler(nodeEng, n.HDFS, true, hdfsCtrl)
 		if err != nil {
 			return nil, err
 		}
-		n.LocalSched, err = c.buildScheduler(n.Local, false, localCtrl)
+		n.LocalSched, err = c.buildScheduler(nodeEng, n.Local, false, localCtrl)
 		if err != nil {
 			return nil, err
 		}
 		if cfg.ScheduleNetwork {
-			n.NetSched = iosched.NewSFQD(eng, &linkBackend{eng: eng, res: n.nicOut}, cfg.NetworkDepth)
+			n.NetSched = iosched.NewSFQD(nodeEng, &linkBackend{eng: nodeEng, res: n.nicOut}, cfg.NetworkDepth)
 		}
 
 		if c.Broker != nil {
-			c.attach(i, "hdfs", n.HDFSSched, fmt.Sprintf("node%d-hdfs", i))
-			c.attach(i, "local", n.LocalSched, fmt.Sprintf("node%d-local", i))
+			c.attach(n, nodeEng, "hdfs", n.HDFSSched, fmt.Sprintf("node%d-hdfs", i))
+			c.attach(n, nodeEng, "local", n.LocalSched, fmt.Sprintf("node%d-local", i))
 		}
 		c.Nodes = append(c.Nodes, n)
 	}
@@ -316,15 +354,17 @@ func New(eng *sim.Engine, cfg Config) (*Cluster, error) {
 }
 
 // armFaults schedules the injector's restarts and device-degradation
-// windows on the engine. Both schedules come pre-sorted, so event
-// sequence numbers — and the whole run — stay deterministic.
+// windows, each on the engine owning the targeted client or device (in
+// sharded mode that is the node's shard engine). Both schedules come
+// pre-sorted, so event sequence numbers — and the whole run — stay
+// deterministic.
 func (c *Cluster) armFaults(inj *faults.Injector) {
 	for _, r := range inj.RestartSchedule() {
 		client := c.byID[r.ID]
 		if client == nil {
 			continue
 		}
-		c.Eng.ScheduleDaemon(r.At, func() { client.Restart() })
+		c.engByID[r.ID].ScheduleDaemon(r.At, func() { client.Restart() })
 	}
 	for _, d := range inj.DegradeSchedule() {
 		dev := c.devByName[d.Device]
@@ -332,8 +372,9 @@ func (c *Cluster) armFaults(inj *faults.Injector) {
 			continue
 		}
 		factor := d.Factor
-		c.Eng.ScheduleDaemon(d.Window.Start, func() { dev.SetDisturbance(factor) })
-		c.Eng.ScheduleDaemon(d.Window.End, func() { dev.SetDisturbance(1) })
+		eng := c.engByID[d.Device]
+		eng.ScheduleDaemon(d.Window.Start, func() { dev.SetDisturbance(factor) })
+		eng.ScheduleDaemon(d.Window.End, func() { dev.SetDisturbance(1) })
 	}
 }
 
@@ -342,26 +383,26 @@ func (c *Cluster) armFaults(inj *faults.Injector) {
 // policy and its parameters arrive from the public config, so an
 // unknown policy or a bad rate table is an input error surfaced from
 // New, not a panic.
-func (c *Cluster) buildScheduler(dev *storage.Device, persistent bool, ctrl iosched.ControllerConfig) (iosched.Scheduler, error) {
+func (c *Cluster) buildScheduler(eng *sim.Engine, dev *storage.Device, persistent bool, ctrl iosched.ControllerConfig) (iosched.Scheduler, error) {
 	switch c.cfg.Policy {
 	case Native:
-		return iosched.NewFIFO(c.Eng, dev), nil
+		return iosched.NewFIFO(eng, dev), nil
 	case SFQD:
-		return iosched.NewSFQD(c.Eng, dev, c.cfg.SFQDepth), nil
+		return iosched.NewSFQD(eng, dev, c.cfg.SFQDepth), nil
 	case SFQD2:
-		return iosched.NewSFQD2(c.Eng, dev, ctrl), nil
+		return iosched.NewSFQD2(eng, dev, ctrl), nil
 	case CGWeight:
 		if persistent {
-			return iosched.NewFIFO(c.Eng, dev), nil
+			return iosched.NewFIFO(eng, dev), nil
 		}
-		return cgroups.NewWeight(c.Eng, dev, c.cfg.SFQDepth), nil
+		return cgroups.NewWeight(eng, dev, c.cfg.SFQDepth), nil
 	case CGThrottle:
 		if persistent {
-			return iosched.NewFIFO(c.Eng, dev), nil
+			return iosched.NewFIFO(eng, dev), nil
 		}
-		return cgroups.NewThrottle(c.Eng, dev, c.cfg.ThrottleLimits)
+		return cgroups.NewThrottle(eng, dev, c.cfg.ThrottleLimits)
 	case Reserve:
-		return iosched.NewReservation(c.Eng, dev, c.cfg.ReservationRates, c.cfg.ReservationDefault)
+		return iosched.NewReservation(eng, dev, c.cfg.ReservationRates, c.cfg.ReservationDefault)
 	default:
 		return nil, fmt.Errorf("cluster: unknown policy %d", int(c.cfg.Policy))
 	}
@@ -388,14 +429,20 @@ func (l *linkBackend) Submit(_ storage.OpKind, size float64, onDone func(float64
 }
 
 // attach connects an SFQ scheduler to the broker; non-SFQ schedulers
-// cannot coordinate and are skipped.
-func (c *Cluster) attach(node int, dev string, s iosched.Scheduler, id string) {
+// cannot coordinate and are skipped. The client lives on the node's
+// engine; in sharded mode its exchanges cross the fabric through a
+// per-client async transport.
+func (c *Cluster) attach(n *Node, eng *sim.Engine, dev string, s iosched.Scheduler, id string) {
 	sfq, ok := s.(*iosched.SFQ)
 	if !ok {
 		return
 	}
-	client := broker.NewClientWithOptions(c.Eng, id, sfq.Accounting(), broker.ClientOptions{
-		Transport: c.transport,
+	tr := c.transport
+	if n.shard != nil {
+		tr = &shardedTransport{b: c.Broker, inj: c.cfg.Faults, shard: n.shard, coord: n.coord}
+	}
+	client := broker.NewClientWithOptions(eng, id, sfq.Accounting(), broker.ClientOptions{
+		Transport: tr,
 		Period:    c.cfg.CoordinationPeriod,
 		Retry:     c.cfg.Retry,
 		Shares:    c.shares,
@@ -403,7 +450,7 @@ func (c *Cluster) attach(node int, dev string, s iosched.Scheduler, id string) {
 	client.BindScheduler(sfq)
 	sfq.SetDelayClamp(c.cfg.DelayClamp)
 	sfq.SetCoordinator(client)
-	c.clients = append(c.clients, ClientRef{Node: node, Dev: dev, C: client})
+	c.clients = append(c.clients, ClientRef{Node: n.Index, Dev: dev, C: client})
 	c.byID[id] = client
 }
 
@@ -566,16 +613,52 @@ func (n *Node) SubmitIO(req *iosched.Request) error {
 	if req.Shares == nil {
 		req.Shares = n.shares
 	}
+	if n.shard != nil {
+		n.submitSharded(req)
+		return nil
+	}
 	if req.Class.Persistent() {
 		return n.HDFSSched.Submit(req)
 	}
 	return n.LocalSched.Submit(req)
 }
 
+// submitSharded routes a request across the fabric: the submit travels
+// as a message to the node's shard, and the completion callback bounces
+// back to the coordinator, each hop costing the fabric lookahead — the
+// sharded model's RPC latency. Rejection cannot be reported to the
+// caller synchronously; in the sharded configurations (validated specs,
+// no mid-run control-plane surgery) a rejection is a wiring bug, so it
+// panics on the node shard.
+func (n *Node) submitSharded(req *iosched.Request) {
+	orig := req.OnDone
+	if orig != nil {
+		coordID := n.coord.ID()
+		req.OnDone = func(lat float64) {
+			n.shard.Post(coordID, 0, func() { orig(lat) })
+		}
+	}
+	n.coord.Post(n.shard.ID(), 0, func() {
+		var err error
+		if req.Class.Persistent() {
+			err = n.HDFSSched.Submit(req)
+		} else {
+			err = n.LocalSched.Submit(req)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("cluster: sharded submit on node %d rejected: %v", n.Index, err))
+		}
+	})
+}
+
 // Send models a network transfer of size bytes from node n to dst: a
 // processor-shared pass through n's egress NIC then dst's ingress NIC.
 // done fires when the last byte arrives.
 func (n *Node) Send(dst *Node, size float64, done func()) {
+	if n.shard != nil {
+		n.sendSharded(dst, size, done)
+		return
+	}
 	if size <= 0 {
 		n.nicOut.Submit(0, func() {
 			if done != nil {
@@ -593,6 +676,33 @@ func (n *Node) Send(dst *Node, size float64, done func()) {
 	})
 }
 
+// sendSharded is Send across the fabric: egress on the source shard,
+// one inter-shard hop (the lookahead is the wire latency), ingress on
+// the destination shard, completion bounced to the coordinator.
+func (n *Node) sendSharded(dst *Node, size float64, done func()) {
+	coordID := n.coord.ID()
+	finish := func() {
+		if done != nil {
+			dst.shard.Post(coordID, 0, done)
+		}
+	}
+	n.coord.Post(n.shard.ID(), 0, func() {
+		if size <= 0 {
+			n.nicOut.Submit(0, func() {
+				if done != nil {
+					n.shard.Post(coordID, 0, done)
+				}
+			})
+			return
+		}
+		n.nicOut.Submit(size, func() {
+			n.shard.Post(dst.shard.ID(), 0, func() {
+				dst.nicIn.Submit(size, finish)
+			})
+		})
+	})
+}
+
 // SendTagged is Send with application attribution: when the cluster
 // schedules network bandwidth, the egress hop passes through the NIC's
 // weighted fair scheduler; otherwise it behaves exactly like Send. The
@@ -601,6 +711,30 @@ func (n *Node) Send(dst *Node, size float64, done func()) {
 func (n *Node) SendTagged(dst *Node, app iosched.AppID, size float64, done func()) error {
 	if n.NetSched == nil || size <= 0 {
 		n.Send(dst, size, done)
+		return nil
+	}
+	if n.shard != nil {
+		coordID := n.coord.ID()
+		req := &iosched.Request{
+			App:    app,
+			Shares: n.shares,
+			Class:  iosched.NetworkTransfer,
+			Size:   size,
+			OnDone: func(float64) {
+				n.shard.Post(dst.shard.ID(), 0, func() {
+					dst.nicIn.Submit(size, func() {
+						if done != nil {
+							dst.shard.Post(coordID, 0, done)
+						}
+					})
+				})
+			},
+		}
+		n.coord.Post(n.shard.ID(), 0, func() {
+			if err := n.NetSched.Submit(req); err != nil {
+				panic(fmt.Sprintf("cluster: sharded tagged send on node %d rejected: %v", n.Index, err))
+			}
+		})
 		return nil
 	}
 	return n.NetSched.Submit(&iosched.Request{

@@ -1,0 +1,160 @@
+// Sharded cluster assembly: one simulation shard per datanode plus a
+// coordinator shard, advancing concurrently under the fabric's
+// conservative synchronization.
+//
+// Partitioning. Shard 0 (the coordinator) owns everything that is
+// cluster-global: the MapReduce runtime and fair scheduler, the
+// namenode, the broker, and the share tree's clock. Shard 1+i owns
+// datanode i: its two storage devices, its NIC processor-sharing
+// resources, its interposed I/O schedulers, and its coordination
+// clients. Every cross-shard interaction — submitting an I/O to a
+// node, a shuffle transfer landing on a remote NIC, a broker exchange,
+// a fault-schedule event — travels as a timestamped inter-shard
+// message, so each engine remains single-owner and the run is
+// bit-identical for every worker count.
+//
+// The fabric lookahead plays the role of the cluster's control-plane
+// RPC latency: a submit, a completion notification, a NIC-to-NIC hop
+// and a broker exchange leg each take at least one lookahead of
+// virtual time. The sharded model is therefore not bit-identical to
+// the single-engine model (which has zero-latency control edges); it
+// is its own deterministic system, pinned by comparing worker counts
+// against each other.
+//
+// Constraints. The share tree must be fully populated before the
+// fabric runs: node shards resolve weights at tag time, and the tree's
+// auto-bind-on-read would be a cross-shard mutation. mapreduce.Submit
+// binds every job's app synchronously at submission, so submitting all
+// jobs before Run (as the experiments do) satisfies this; mid-run
+// reweighting, Hive stage submission and FailNode are unsupported in
+// sharded mode.
+package cluster
+
+import (
+	"ibis/internal/broker"
+	"ibis/internal/faults"
+	"ibis/internal/iosched"
+	"ibis/internal/sim"
+)
+
+// DefaultLookahead is the default cross-shard latency (virtual
+// seconds) when a caller passes none: a LAN-class control RPC, two
+// orders of magnitude below the coordination period, far above float
+// noise.
+const DefaultLookahead = 0.02
+
+// NewSharded assembles a cluster across a fresh fabric of cfg.Nodes+1
+// shards: shard 0 is the coordinator (Cluster.Eng is its engine),
+// shard 1+i is datanode i. lookahead (≤0 = DefaultLookahead) becomes
+// the minimum virtual latency of every cross-shard edge; fo.Workers
+// sets the physical parallelism and changes nothing else.
+func NewSharded(cfg Config, lookahead float64, fo sim.FabricOptions) (*Cluster, error) {
+	cfg.defaults()
+	if lookahead <= 0 {
+		lookahead = DefaultLookahead
+	}
+	f := sim.NewFabric(cfg.Nodes+1, lookahead, fo)
+	return assemble(f.Shard(0).Engine(), f, cfg)
+}
+
+// Fabric returns the simulation fabric, or nil in single-engine mode.
+func (c *Cluster) Fabric() *sim.Fabric { return c.fabric }
+
+// NodeEngine returns the engine owning node i's devices (the cluster
+// engine in single-engine mode).
+func (c *Cluster) NodeEngine(i int) *sim.Engine {
+	if c.fabric != nil {
+		return c.fabric.Shard(i + 1).Engine()
+	}
+	return c.Eng
+}
+
+// shardedTransport carries one coordination client's broker traffic
+// across the fabric: the request is a daemon message to the
+// coordinator shard — where the broker lives and the fault model is
+// evaluated — and the response a daemon message back. Daemon, because
+// periodic coordination must not keep the simulation alive.
+//
+// It implements broker.AsyncTransport; the synchronous
+// broker.Transport methods exist only to satisfy the interface type
+// and panic if called (the client prefers the async protocol whenever
+// a transport provides it).
+type shardedTransport struct {
+	b     *broker.Broker
+	inj   *faults.Injector // nil = reliable
+	shard *sim.Shard       // the client's node shard
+	coord *sim.Shard
+	seq   uint64 // per-client fate counter, advanced on the coordinator
+}
+
+var _ broker.Transport = (*shardedTransport)(nil)
+var _ broker.AsyncTransport = (*shardedTransport)(nil)
+
+// ExchangeAsync implements broker.AsyncTransport. Fates are evaluated
+// on the coordinator at arrival time with a per-client sequence
+// counter: messages from one client arrive in send order, so the
+// counter — and with it every fault roll — is independent of how other
+// clients' traffic interleaves.
+func (t *shardedTransport) ExchangeAsync(id string, vec map[iosched.AppID]float64, done func(broker.Response, error)) {
+	src := t.shard.ID()
+	t.shard.PostDaemon(t.coord.ID(), 0, func() {
+		var fate faults.MsgFate
+		if t.inj != nil {
+			fate = t.inj.Fate(id, t.seq, t.coord.Engine().Now())
+			t.seq++
+		}
+		if fate.Unavailable {
+			t.coord.PostDaemon(src, 0, func() { done(broker.Response{}, broker.ErrUnavailable) })
+			return
+		}
+		if fate.ReqDrop {
+			return // lost in flight; the client's timeout covers it
+		}
+		resp := t.b.Exchange(id, vec)
+		if fate.RespDrop {
+			return // report applied, response lost
+		}
+		t.coord.PostDaemon(src, fate.Delay, func() { done(resp, nil) })
+	})
+}
+
+// RegisterAsync implements broker.AsyncTransport.
+func (t *shardedTransport) RegisterAsync(id string, done func(error)) {
+	src := t.shard.ID()
+	t.shard.PostDaemon(t.coord.ID(), 0, func() {
+		var fate faults.MsgFate
+		if t.inj != nil {
+			fate = t.inj.Fate(id, t.seq, t.coord.Engine().Now())
+			t.seq++
+		}
+		if fate.Unavailable {
+			t.coord.PostDaemon(src, 0, func() { done(broker.ErrUnavailable) })
+			return
+		}
+		if fate.ReqDrop {
+			return
+		}
+		t.b.Register(id)
+		if fate.RespDrop {
+			return
+		}
+		t.coord.PostDaemon(src, fate.Delay, func() { done(nil) })
+	})
+}
+
+// Exchange implements broker.Transport (type only — never called).
+func (t *shardedTransport) Exchange(string, map[iosched.AppID]float64) (broker.Response, float64, error) {
+	panic("cluster: sharded transport is async-only")
+}
+
+// Register implements broker.Transport (type only — never called).
+func (t *shardedTransport) Register(string) (float64, error) {
+	panic("cluster: sharded transport is async-only")
+}
+
+// Unregister implements broker.Transport. Out-of-band death detection
+// crosses the fabric like everything else; it is called from the
+// client's shard (Detach).
+func (t *shardedTransport) Unregister(id string) {
+	t.shard.PostDaemon(t.coord.ID(), 0, func() { t.b.Unregister(id) })
+}

@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"ibis/internal/audit"
@@ -78,6 +79,17 @@ type Options struct {
 	// AuditWindow overrides the share-check period (0 = default).
 	Audit       bool
 	AuditWindow float64
+	// Shards, when positive, runs the scenario on the sharded parallel
+	// fabric (one engine per datanode plus a coordinator) with that
+	// many worker goroutines. The worker count changes wall-clock time
+	// only: results, traces and audit output are identical for every
+	// positive value. Shards=0 is the classic single-engine path.
+	Shards int
+	// ShardLatency is the fabric lookahead — the virtual latency of
+	// every cross-shard edge (0 = cluster.DefaultLookahead). Larger
+	// values mean wider synchronization windows and more parallelism,
+	// at the price of slower control-plane RPCs in the model.
+	ShardLatency float64
 }
 
 func (o *Options) defaults() {
@@ -124,10 +136,14 @@ type Result struct {
 	// JobHandles exposes the completed jobs for deeper analysis
 	// (per-task timings etc.).
 	JobHandles []*mapreduce.Job
-	// Trace is the request-lifecycle ring buffer, if enabled.
+	// Trace is the request-lifecycle ring buffer, if enabled. In
+	// sharded mode it is the deterministic merge of the per-shard rings.
 	Trace *trace.Tracer
 	// Audit is the invariant auditor, finished, if enabled.
 	Audit *audit.Auditor
+	// FabricStats reports the parallel fabric's window and message
+	// counters (nil in single-engine mode).
+	FabricStats *sim.FabricStats
 
 	latencies map[latKey]*metrics.Distribution
 }
@@ -174,7 +190,12 @@ func Run(opts Options, entries []Entry) (*Result, error) {
 // (e.g. a Hive query's stage chain) to the runtime before execution.
 func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) error) (*Result, error) {
 	opts.defaults()
-	eng := sim.NewEngine()
+	sharded := opts.Shards > 0
+	if sharded && opts.CaptureThroughput {
+		// The throughput time series is one shared accumulator stamped
+		// with the coordinator clock; completions land on node shards.
+		return nil, fmt.Errorf("experiments: CaptureThroughput is unsupported in sharded mode")
+	}
 
 	disk := storage.HDDSpec()
 	if opts.SSD {
@@ -190,7 +211,7 @@ func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) 
 		ctrl.WriteLref = prof.WriteLref * opts.LrefScale
 	}
 	var depthTrace []iosched.TracePoint
-	cl, err := cluster.New(eng, cluster.Config{
+	cfg := cluster.Config{
 		CoresPerNode:       opts.CoresPerNode,
 		MemGBPerNode:       opts.MemGBPerNode,
 		HDFSDisk:           disk,
@@ -204,10 +225,18 @@ func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) 
 		ScheduleNetwork:    opts.ScheduleNetwork,
 		NetworkDepth:       opts.NetworkDepth,
 		Coordinate:         opts.Coordinate,
-	})
+	}
+	var cl *cluster.Cluster
+	var err error
+	if sharded {
+		cl, err = cluster.NewSharded(cfg, opts.ShardLatency, sim.FabricOptions{Workers: opts.Shards})
+	} else {
+		cl, err = cluster.New(sim.NewEngine(), cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
+	eng := cl.Eng
 	if opts.CaptureDepthTrace && opts.Policy == cluster.SFQD2 {
 		if sfq, ok := cl.Nodes[0].HDFSSched.(*iosched.SFQ); ok {
 			sfq.Controller().SetTrace(func(p iosched.TracePoint) {
@@ -241,45 +270,85 @@ func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) 
 		res.ReadSeries = metrics.NewTimeSeries(1)
 		res.WriteSeries = metrics.NewTimeSeries(1)
 	}
+	var shTrace *trace.Sharded
 	if opts.TraceCapacity > 0 {
-		res.Trace = trace.New(opts.TraceCapacity)
+		if sharded {
+			shTrace = trace.NewSharded(len(cl.Nodes)+1, opts.TraceCapacity)
+		} else {
+			res.Trace = trace.New(opts.TraceCapacity)
+		}
 	}
+	var deferredAudit *audit.Deferred
 	if opts.Audit {
 		res.Audit = audit.New(audit.Options{Window: opts.AuditWindow})
+		if sharded {
+			deferredAudit = audit.NewDeferred(res.Audit, len(cl.Nodes)+1)
+		}
 		if cl.Broker != nil {
 			res.Audit.AttachBroker(cl.Broker)
 		}
 	}
-	if res.Trace != nil || res.Audit != nil {
+	if res.Trace != nil || shTrace != nil || res.Audit != nil {
 		cl.Instrument(func(node int, dev string, sched iosched.Scheduler) iosched.Probe {
 			var ps []iosched.Probe
-			if res.Trace != nil {
+			switch {
+			case shTrace != nil:
+				ps = append(ps, shTrace.Probe(node+1, node, trace.DeviceKindOf(dev)))
+			case res.Trace != nil:
 				ps = append(ps, res.Trace.Probe(node, trace.DeviceKindOf(dev)))
 			}
-			if res.Audit != nil {
+			switch {
+			case deferredAudit != nil:
+				ps = append(ps, deferredAudit.Probe(node+1, node, dev, sched))
+			case res.Audit != nil:
 				ps = append(ps, res.Audit.Probe(node, dev, sched))
 			}
 			return iosched.MultiProbe(ps...)
 		})
 	}
-	cl.SetIOObserver(func(_ int, req *iosched.Request, lat float64) {
-		res.TotalBytes += req.Size
-		res.PerAppBytes[req.App] += req.Size
-		k := latKey{req.App, req.Class}
-		d := res.latencies[k]
-		if d == nil {
-			d = metrics.NewDistribution()
-			res.latencies[k] = d
-		}
-		d.Add(lat)
-		if res.ReadSeries != nil {
-			if req.Class.OpKind() == storage.Read {
-				res.ReadSeries.Add(eng.Now(), req.Size)
-			} else {
-				res.WriteSeries.Add(eng.Now(), req.Size)
+	// I/O completions fire on the owning node's shard; in sharded mode
+	// they accumulate into per-node cells (single-owner by construction)
+	// merged in node order after the run — same totals, same
+	// distributions, no shared writes inside parallel windows.
+	type ioCell struct {
+		totalBytes float64
+		perApp     map[iosched.AppID]float64
+		lats       map[latKey][]float64
+	}
+	var cells []ioCell
+	if sharded {
+		cells = make([]ioCell, len(cl.Nodes))
+		cl.SetIOObserver(func(node int, req *iosched.Request, lat float64) {
+			c := &cells[node]
+			if c.perApp == nil {
+				c.perApp = make(map[iosched.AppID]float64)
+				c.lats = make(map[latKey][]float64)
 			}
-		}
-	})
+			c.totalBytes += req.Size
+			c.perApp[req.App] += req.Size
+			k := latKey{req.App, req.Class}
+			c.lats[k] = append(c.lats[k], lat)
+		})
+	} else {
+		cl.SetIOObserver(func(_ int, req *iosched.Request, lat float64) {
+			res.TotalBytes += req.Size
+			res.PerAppBytes[req.App] += req.Size
+			k := latKey{req.App, req.Class}
+			d := res.latencies[k]
+			if d == nil {
+				d = metrics.NewDistribution()
+				res.latencies[k] = d
+			}
+			d.Add(lat)
+			if res.ReadSeries != nil {
+				if req.Class.OpKind() == storage.Read {
+					res.ReadSeries.Add(eng.Now(), req.Size)
+				} else {
+					res.WriteSeries.Add(eng.Now(), req.Size)
+				}
+			}
+		})
+	}
 
 	var jobs []*mapreduce.Job
 	for _, e := range entries {
@@ -298,13 +367,51 @@ func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) 
 		}
 	}
 
-	if opts.RunLimit > 0 {
+	if sharded {
+		limit := math.Inf(1)
+		if opts.RunLimit > 0 {
+			limit = opts.RunLimit
+		}
+		cl.Fabric().RunUntil(limit)
+	} else if opts.RunLimit > 0 {
 		eng.RunUntil(opts.RunLimit)
 	} else {
 		eng.Run()
 	}
-	if res.Audit != nil {
+	if deferredAudit != nil {
+		deferredAudit.Finish()
+	} else if res.Audit != nil {
 		res.Audit.Finish()
+	}
+	if shTrace != nil {
+		res.Trace = shTrace.Merge()
+	}
+	for ni := range cells {
+		c := &cells[ni]
+		res.TotalBytes += c.totalBytes
+		for _, app := range sortedAppNames(c.perApp) {
+			res.PerAppBytes[app] += c.perApp[app]
+		}
+		keys := make([]latKey, 0, len(c.lats))
+		for k := range c.lats {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].app != keys[j].app {
+				return keys[i].app < keys[j].app
+			}
+			return keys[i].class < keys[j].class
+		})
+		for _, k := range keys {
+			d := res.latencies[k]
+			if d == nil {
+				d = metrics.NewDistribution()
+				res.latencies[k] = d
+			}
+			for _, v := range c.lats[k] {
+				d.Add(v)
+			}
+		}
 	}
 
 	// Collect every job the runtime saw — including ones attached by
@@ -325,7 +432,13 @@ func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) 
 	}
 	res.JobHandles = jobs
 	res.DepthTrace = depthTrace
-	res.EventsFired = eng.Fired()
+	if sharded {
+		res.EventsFired = cl.Fabric().Fired()
+		st := cl.Fabric().Stats()
+		res.FabricStats = &st
+	} else {
+		res.EventsFired = eng.Fired()
+	}
 	return res, nil
 }
 

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"ibis/internal/cluster"
+)
+
+// ShardsRow is one run of the sharded-fabric benchmark scenario. The
+// deterministic fields (everything except the wall times) must be
+// identical for every worker count — the table itself demonstrates the
+// pin.
+type ShardsRow struct {
+	Workers    int
+	Duration   float64 // virtual seconds
+	Events     uint64
+	Windows    uint64 // fabric synchronization windows
+	ParWindows uint64 // windows with ≥2 active shards (worker-pool path)
+	Messages   uint64 // cross-shard messages delivered
+	Digest     string // sha256 prefix of the merged JSONL trace
+	Violations uint64 // audit violations (must be 0)
+	Wall       time.Duration
+}
+
+// ShardsResult reports the sharded parallel-simulation benchmark: the
+// Figure 3 HDD co-run (WordCount vs TeraSort under coordinated
+// SFQ(D2)) executed on the 9-shard fabric at 1 worker and at N
+// workers, with traces digested and invariants audited on both.
+//
+// String prints only deterministic fields; wall-clock times and the
+// speedup — which vary run to run — are surfaced on stderr through
+// StderrNote, preserving ibis-bench's byte-identical-stdout guarantee.
+type ShardsResult struct {
+	Scale     float64
+	Lookahead float64
+	Rows      []ShardsRow
+	Match     bool // parallel run bit-identical to serial run
+}
+
+// shardsScenario is the Figure 3-class contention workload the shards
+// benchmark runs: the paper's interference pair on the standard 8-node
+// HDD cluster with the broker coordinating.
+func shardsScenario(scale float64, workers int) Options {
+	return Options{
+		Scale:         scale,
+		Policy:        cluster.SFQD2,
+		Coordinate:    true,
+		Seed:          42,
+		TraceCapacity: 1 << 15,
+		Audit:         true,
+		Shards:        workers,
+	}
+}
+
+// ShardsOnce executes the shards scenario a single time at the given
+// worker count — the root benchmark suite's entry point.
+func ShardsOnce(scale float64, workers int) (ShardsRow, error) {
+	return shardsRun(scale, workers)
+}
+
+func shardsRun(scale float64, workers int) (ShardsRow, error) {
+	start := time.Now()
+	res, err := Run(shardsScenario(scale, workers),
+		[]Entry{wordCount(scale, 1), teraSortContender(scale, 1)})
+	if err != nil {
+		return ShardsRow{}, err
+	}
+	wall := time.Since(start)
+	var buf bytes.Buffer
+	if err := res.Trace.WriteJSONL(&buf); err != nil {
+		return ShardsRow{}, err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	row := ShardsRow{
+		Workers:    workers,
+		Duration:   res.Duration,
+		Events:     res.EventsFired,
+		Digest:     fmt.Sprintf("%x", sum[:8]),
+		Violations: res.Audit.ViolationCount(),
+		Wall:       wall,
+	}
+	if res.FabricStats != nil {
+		row.Windows = res.FabricStats.Windows
+		row.ParWindows = res.FabricStats.ParallelWindows
+		row.Messages = res.FabricStats.Messages
+	}
+	return row, nil
+}
+
+// Shards runs the sharded-fabric benchmark at 1 worker and at workers
+// workers (values below 2 are raised to 2 so the comparison exists).
+func Shards(scale float64, workers int) (*ShardsResult, error) {
+	if workers < 2 {
+		workers = 2
+	}
+	out := &ShardsResult{Scale: scale, Lookahead: cluster.DefaultLookahead}
+	for _, w := range []int{1, workers} {
+		row, err := shardsRun(scale, w)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	a, b := out.Rows[0], out.Rows[1]
+	out.Match = a.Digest == b.Digest && a.Duration == b.Duration &&
+		a.Events == b.Events && a.Violations == b.Violations
+	return out, nil
+}
+
+// Speedup returns serial wall / parallel wall (0 until both rows ran).
+func (r *ShardsResult) Speedup() float64 {
+	if len(r.Rows) != 2 || r.Rows[1].Wall <= 0 {
+		return 0
+	}
+	return r.Rows[0].Wall.Seconds() / r.Rows[1].Wall.Seconds()
+}
+
+// String renders the deterministic comparison table.
+func (r *ShardsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded simulation: Fig03-class HDD co-run, 9 shards, lookahead %gs (scale %.3g)\n", r.Lookahead, r.Scale)
+	fmt.Fprintf(&b, "  %-8s %12s %10s %9s %10s %9s %18s %6s\n",
+		"workers", "duration(s)", "events", "windows", "parallel", "messages", "trace digest", "viol")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-8d %12.1f %10d %9d %10d %9d %18s %6d\n",
+			row.Workers, row.Duration, row.Events, row.Windows, row.ParWindows, row.Messages, row.Digest, row.Violations)
+	}
+	fmt.Fprintf(&b, "  parallel run bit-identical to serial: %v\n", r.Match)
+	return b.String()
+}
+
+// StderrNote reports the wall-clock comparison (nondeterministic, so
+// not part of String). GOMAXPROCS is included because worker count is
+// logical parallelism only — on a single-core host the speedup is
+// honestly ~1.0x and the determinism pin is the point.
+func (r *ShardsResult) StderrNote() string {
+	if len(r.Rows) != 2 {
+		return ""
+	}
+	return fmt.Sprintf("shards=%d speedup=%.2fx (serial %.2fs, parallel %.2fs, gomaxprocs=%d)",
+		r.Rows[1].Workers, r.Speedup(), r.Rows[0].Wall.Seconds(), r.Rows[1].Wall.Seconds(),
+		runtime.GOMAXPROCS(0))
+}

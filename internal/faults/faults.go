@@ -326,6 +326,39 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// MsgFate is the fate of one coordination round trip under the
+// injected fault model, pre-evaluated by Fate.
+type MsgFate struct {
+	// Unavailable: the broker is down or the client partitioned — the
+	// exchange fails with an explicit error.
+	Unavailable bool
+	// ReqDrop / RespDrop: the request (resp. response) is lost in
+	// flight. A dropped request never reaches the broker; a dropped
+	// response leaves the report applied but the client unanswered.
+	ReqDrop, RespDrop bool
+	// Delay is extra response latency in seconds (0 = none rolled).
+	Delay float64
+}
+
+// Fate evaluates the fate of message seq from client id at virtual
+// time now. It is a pure function of (seed, id, seq, now), so callers
+// that keep their own per-client sequence counters — the sharded
+// transport, whose messages from different clients have no global
+// order — get fates independent of cross-client interleaving.
+func (inj *Injector) Fate(id string, seq uint64, now float64) MsgFate {
+	var f MsgFate
+	if inj.BrokerDown(now) || inj.Partitioned(id, now) {
+		f.Unavailable = true
+		return f
+	}
+	f.ReqDrop = inj.dropProb > 0 && inj.roll(saltReqDrop, id, seq) < inj.dropProb
+	f.RespDrop = inj.respDropProb > 0 && inj.roll(saltRespDrop, id, seq) < inj.respDropProb
+	if inj.delayProb > 0 && inj.roll(saltDelay, id, seq) < inj.delayProb {
+		f.Delay = inj.delayMin + (inj.delayMax-inj.delayMin)*inj.roll(saltDelayAmt, id, seq)
+	}
+	return f
+}
+
 // ClientIDs returns the coordination client ids of an n-node cluster
 // ("node<i>-hdfs", "node<i>-local") — the names fault schedules and
 // device-degradation targets use.

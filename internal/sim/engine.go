@@ -60,6 +60,10 @@ type Engine struct {
 	fired  uint64
 	halted bool
 	live   int // pending non-daemon events
+	// guard, when non-nil, is invoked on every mutating entry point
+	// (schedule, cancel). The sharded fabric installs an ownership
+	// check here in debug mode; nil costs one branch.
+	guard func()
 }
 
 // NewEngine returns an engine with virtual time 0.
@@ -110,6 +114,9 @@ func (e *Engine) schedule(t float64, fn func(), daemon bool) Event {
 	if fn == nil {
 		panic("sim: At called with nil fn")
 	}
+	if e.guard != nil {
+		e.guard()
+	}
 	if t < e.now || math.IsNaN(t) {
 		t = e.now
 	}
@@ -149,6 +156,9 @@ func (e *Engine) Cancel(h Event) {
 	ev := h.ev
 	if ev == nil || ev.gen != h.gen || ev.index < 0 {
 		return
+	}
+	if e.guard != nil {
+		e.guard()
 	}
 	if !ev.daemon {
 		e.live--
@@ -209,6 +219,48 @@ func (e *Engine) RunUntil(limit float64) float64 {
 
 // Live returns the number of pending non-daemon events.
 func (e *Engine) Live() int { return e.live }
+
+// SetGuard installs fn on every mutating entry point (schedule,
+// cancel); nil removes it. The sharded fabric uses this for its
+// debug-build single-owner check.
+func (e *Engine) SetGuard(fn func()) { e.guard = fn }
+
+// PeekTime returns the time of the earliest pending event, or false if
+// the queue is empty.
+func (e *Engine) PeekTime() (float64, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].time, true
+}
+
+// RunBefore executes every event with time strictly less than limit —
+// daemon events included, regardless of the live count — and returns
+// how many fired. Unlike RunUntil it never advances the clock to the
+// limit: Now stays at the last executed event, so a later window can
+// deliver work anywhere in [Now, limit). This is the intra-window
+// executor of the sharded conservative-sync fabric; ordinary callers
+// want Run or RunUntil.
+func (e *Engine) RunBefore(limit float64) int {
+	n := 0
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.time >= limit {
+			break
+		}
+		e.heapPopMin()
+		e.now = next.time
+		e.fired++
+		if !next.daemon {
+			e.live--
+		}
+		fn := next.fn
+		e.recycle(next)
+		fn()
+		n++
+	}
+	return n
+}
 
 // Step executes exactly one event if one is pending and reports whether
 // an event was executed. Step ignores Halt: a pending Halt from a

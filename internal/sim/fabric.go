@@ -1,0 +1,518 @@
+// Sharded parallel simulation: a Fabric partitions a model across
+// several Engines ("shards") and advances them concurrently under
+// conservative synchronization.
+//
+// The protocol is classic barrier-windowed conservative PDES. Let L be
+// the fabric lookahead — the minimum virtual latency of any cross-shard
+// interaction. Each round the fabric computes T, the earliest pending
+// event or undelivered message anywhere, and executes every shard
+// independently over the window [T, T+L). Any message posted at time
+// s ∈ [T, T+L) is delivered no earlier than s+L ≥ T+L, i.e. strictly
+// after the window, so no shard can receive an event inside a window it
+// is already executing: shards never see each other mid-window and can
+// run on separate goroutines.
+//
+// Determinism is by construction, independent of how many worker
+// goroutines execute the windows:
+//
+//   - the logical shard topology and the window schedule are pure
+//     functions of the model, not of the worker count;
+//   - within a window each shard's engine is single-owner and executes
+//     its own (time, seq)-ordered queue exactly as a serial run would;
+//   - at each barrier, pending messages are delivered in the total
+//     order (deliverTime, srcShard, srcSeq), so the destination
+//     engine's sequence numbers — and therefore all later tie-breaks —
+//     are identical whether the previous window ran on 1 worker or 16.
+//
+// A run with Workers: 1 is therefore bit-identical to one with
+// Workers: N; the tests pin this with trace digests.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// fabricMsg is one timestamped inter-shard message.
+type fabricMsg struct {
+	deliver float64 // absolute delivery time at the destination
+	src     int32
+	dst     int32
+	daemon  bool
+	seq     uint64 // per-source sequence, the deterministic tie-break
+	fn      func()
+}
+
+// FabricOptions configure NewFabric.
+type FabricOptions struct {
+	// Workers bounds how many shards execute a window concurrently.
+	// 0 or 1 runs every window inline on the calling goroutine — the
+	// serial mode parallel runs must be bit-identical to.
+	Workers int
+	// Debug enables the single-owner check: any Schedule/Cancel/Post
+	// against a shard's engine while a window is executing and that
+	// shard is not the one running panics instead of racing.
+	Debug bool
+}
+
+// FabricStats counts fabric activity for diagnostics and tests.
+type FabricStats struct {
+	// Windows is the number of synchronization windows executed;
+	// ParallelWindows the subset dispatched to the worker pool.
+	Windows, ParallelWindows uint64
+	// Messages is the number of cross-shard messages delivered.
+	Messages uint64
+	// MaxPending is the high-water mark of undelivered messages.
+	MaxPending int
+}
+
+// Fabric owns a fixed set of shard engines and the conservative
+// synchronization between them. Create one with NewFabric, wire the
+// model so every cross-shard interaction goes through Shard.Post, then
+// call Run.
+type Fabric struct {
+	shards    []*Shard
+	lookahead float64
+	workers   int
+	debug     bool
+
+	pending  []fabricMsg // undelivered cross-shard messages
+	liveMsgs int         // pending non-daemon messages
+	inWindow atomic.Int32
+
+	// Window dispatch. The coordinator publishes windowEnd and the
+	// active set, then opens the window by bumping gen to an odd value;
+	// workers (and the coordinating goroutine itself) claim shards off
+	// active via the claim counter and bump done per shard finished.
+	// Closing bumps gen back to even, and the coordinator waits for
+	// busy == 0 — no worker inside a claim loop — before touching any
+	// window state again, so stragglers never observe a half-built
+	// window. Workers spin briefly between windows — barrier-to-barrier
+	// gaps are microseconds — and park on cond after a bounded spin so
+	// idle fabrics don't burn CPU.
+	windowEnd float64
+	active    []*Shard
+	gen       atomic.Uint64 // odd = window open, even = closed
+	claim     atomic.Int32
+	done      atomic.Int32
+	busy      atomic.Int32 // workers currently inside runClaims
+	stop      atomic.Bool
+	parked    atomic.Int32
+	mu        sync.Mutex
+	cond      *sync.Cond
+	workerWG  sync.WaitGroup
+
+	// scratch buffer reused across windows.
+	deliverBuf []fabricMsg
+
+	stats FabricStats
+}
+
+// Shard is one partition: an Engine plus the outbox that carries its
+// cross-shard messages. All model state owned by the shard must only
+// ever be touched from callbacks running on its engine (or at a
+// barrier, before Run / between windows).
+type Shard struct {
+	f       *Fabric
+	id      int32
+	eng     *Engine
+	outbox  []fabricMsg
+	inbox   []fabricMsg // due messages, inserted by the shard's runner
+	seq     uint64
+	running atomic.Int32
+}
+
+// NewFabric creates n shards, each with a fresh engine at time 0.
+// lookahead is the fabric-wide minimum cross-shard latency L in virtual
+// seconds; Post clamps smaller delays up to it.
+func NewFabric(n int, lookahead float64, opts FabricOptions) *Fabric {
+	if n < 1 {
+		panic("sim: NewFabric needs at least one shard")
+	}
+	if lookahead <= 0 || math.IsNaN(lookahead) {
+		panic("sim: NewFabric needs a positive lookahead")
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	f := &Fabric{lookahead: lookahead, workers: workers, debug: opts.Debug}
+	f.cond = sync.NewCond(&f.mu)
+	for i := 0; i < n; i++ {
+		s := &Shard{f: f, id: int32(i), eng: NewEngine()}
+		if opts.Debug {
+			s := s
+			s.eng.SetGuard(func() {
+				if f.inWindow.Load() == 1 && s.running.Load() == 0 {
+					panic(fmt.Sprintf("sim: engine of shard %d touched during a parallel window it is not executing", s.id))
+				}
+			})
+		}
+		f.shards = append(f.shards, s)
+	}
+	return f
+}
+
+// Shards returns the shard count.
+func (f *Fabric) Shards() int { return len(f.shards) }
+
+// Shard returns shard i.
+func (f *Fabric) Shard(i int) *Shard { return f.shards[i] }
+
+// Lookahead returns the fabric-wide minimum cross-shard latency.
+func (f *Fabric) Lookahead() float64 { return f.lookahead }
+
+// Workers returns the configured worker bound.
+func (f *Fabric) Workers() int { return f.workers }
+
+// Stats returns the accumulated fabric counters.
+func (f *Fabric) Stats() FabricStats { return f.stats }
+
+// InWindow reports whether a synchronization window is currently
+// executing (used by debug assertions in higher layers).
+func (f *Fabric) InWindow() bool { return f.inWindow.Load() == 1 }
+
+// Now returns the maximum clock across all shards.
+func (f *Fabric) Now() float64 {
+	t := 0.0
+	for _, s := range f.shards {
+		if s.eng.now > t {
+			t = s.eng.now
+		}
+	}
+	return t
+}
+
+// Fired sums the executed-event counts of all shards.
+func (f *Fabric) Fired() uint64 {
+	var n uint64
+	for _, s := range f.shards {
+		n += s.eng.fired
+	}
+	return n
+}
+
+// ID returns the shard index.
+func (s *Shard) ID() int { return int(s.id) }
+
+// Engine returns the shard's engine. Schedule on it only from the
+// shard's own callbacks (or before Run starts).
+func (s *Shard) Engine() *Engine { return s.eng }
+
+// Post sends fn to shard dst, to run after at least delay seconds of
+// virtual time. Delays below the fabric lookahead are clamped up to it
+// — that bound is what makes concurrent window execution safe. The
+// message counts as live work (it keeps Run going); use PostDaemon for
+// housekeeping traffic. Post must be called from a callback executing
+// on this shard (or at a barrier).
+func (s *Shard) Post(dst int, delay float64, fn func()) {
+	s.post(dst, delay, fn, false)
+}
+
+// PostDaemon is Post for messages that should not keep the simulation
+// alive (periodic control traffic, telemetry).
+func (s *Shard) PostDaemon(dst int, delay float64, fn func()) {
+	s.post(dst, delay, fn, true)
+}
+
+func (s *Shard) post(dst int, delay float64, fn func(), daemon bool) {
+	if fn == nil {
+		panic("sim: Post called with nil fn")
+	}
+	if dst < 0 || dst >= len(s.f.shards) {
+		panic(fmt.Sprintf("sim: Post to unknown shard %d", dst))
+	}
+	if s.f.debug && s.f.inWindow.Load() == 1 && s.running.Load() == 0 {
+		panic(fmt.Sprintf("sim: Post from shard %d outside its window", s.id))
+	}
+	if delay < s.f.lookahead || math.IsNaN(delay) {
+		delay = s.f.lookahead
+	}
+	s.outbox = append(s.outbox, fabricMsg{
+		deliver: s.eng.now + delay,
+		src:     s.id,
+		dst:     int32(dst),
+		daemon:  daemon,
+		seq:     s.seq,
+		fn:      fn,
+	})
+	s.seq++
+}
+
+// Run executes windows until no live work remains anywhere: every
+// shard's non-daemon queue is drained and no non-daemon message is in
+// flight (daemon-only activity does not keep the fabric alive, matching
+// Engine.Run). It returns the final virtual time — the maximum shard
+// clock.
+func (f *Fabric) Run() float64 { return f.RunUntil(math.Inf(1)) }
+
+// RunUntil is Run bounded by a virtual-time horizon: events and
+// messages at or after limit are left pending. Unlike Engine.RunUntil
+// the bound is exclusive and shard clocks are not advanced to it.
+func (f *Fabric) RunUntil(limit float64) float64 {
+	parallel := f.workers > 1 && len(f.shards) > 1
+	if parallel {
+		f.startWorkers()
+		defer f.stopWorkers()
+	}
+	for {
+		f.collect()
+		if f.totalLive() == 0 && f.liveMsgs == 0 {
+			break
+		}
+		start, ok := f.nextTime()
+		if !ok || start >= limit {
+			break
+		}
+		end := start + f.lookahead
+		if end > limit {
+			end = limit
+		}
+		f.routeBefore(end)
+		active := f.active[:0]
+		for _, s := range f.shards {
+			if len(s.inbox) > 0 {
+				active = append(active, s)
+			} else if t, ok := s.eng.PeekTime(); ok && t < end {
+				active = append(active, s)
+			}
+		}
+		f.active = active
+		f.stats.Windows++
+		if !parallel || len(active) < 2 {
+			// Serial or single-shard window: run inline, no
+			// synchronization cost.
+			for _, s := range active {
+				s.runWindow(end)
+			}
+			continue
+		}
+		f.stats.ParallelWindows++
+		f.windowEnd = end
+		f.claim.Store(0)
+		f.done.Store(0)
+		f.inWindow.Store(1)
+		f.gen.Add(1) // open: gen becomes odd
+		if f.parked.Load() > 0 {
+			f.mu.Lock()
+			f.cond.Broadcast()
+			f.mu.Unlock()
+		}
+		// The coordinator is a worker too: claim shards until none are
+		// left, then wait for every shard to finish and every straggler
+		// to leave the claim loop before touching window state again.
+		f.runClaims()
+		for f.done.Load() != int32(len(active)) {
+			runtime.Gosched()
+		}
+		f.gen.Add(1) // close: gen becomes even
+		for f.busy.Load() != 0 {
+			runtime.Gosched()
+		}
+		f.inWindow.Store(0)
+	}
+	return f.Now()
+}
+
+// runWindow drains the shard's due-message inbox into its engine and
+// executes every event before end. Single-owner: exactly one goroutine
+// runs it per shard per window.
+func (s *Shard) runWindow(end float64) {
+	s.running.Store(1)
+	for i := range s.inbox {
+		m := &s.inbox[i]
+		s.eng.schedule(m.deliver, m.fn, m.daemon)
+		m.fn = nil
+	}
+	s.inbox = s.inbox[:0]
+	s.eng.RunBefore(end)
+	s.running.Store(0)
+}
+
+// runClaims executes shards off the active set until none remain.
+// Reading windowEnd/active here is safe: workers only enter between a
+// window's open and close gen transitions (tracked in busy), and the
+// coordinator never mutates either field while the window is open or a
+// worker is still inside this loop.
+func (f *Fabric) runClaims() {
+	end := f.windowEnd
+	for {
+		i := int(f.claim.Add(1)) - 1
+		if i >= len(f.active) {
+			return
+		}
+		f.active[i].runWindow(end)
+		f.done.Add(1)
+	}
+}
+
+// worker is the spin-then-park loop of one pool goroutine. Between
+// windows the coordinator is only microseconds away, so workers spin
+// (yielding) for a bounded count before parking on the fabric's cond.
+func (f *Fabric) worker() {
+	defer f.workerWG.Done()
+	const spinLimit = 1 << 13
+	last := f.gen.Load()
+	spins := 0
+	for {
+		g := f.gen.Load()
+		if g != last && g&1 == 1 {
+			// A window is open. Register in busy before claiming, then
+			// re-check: if the window closed in between, back out —
+			// the coordinator may already be mutating window state.
+			f.busy.Add(1)
+			if f.gen.Load() == g {
+				f.runClaims()
+			}
+			f.busy.Add(-1)
+			last, spins = g, 0
+			continue
+		}
+		if f.stop.Load() {
+			return
+		}
+		if spins < spinLimit {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		f.mu.Lock()
+		f.parked.Add(1)
+		for g := f.gen.Load(); (g == last || g&1 == 0) && !f.stop.Load(); g = f.gen.Load() {
+			f.cond.Wait()
+		}
+		f.parked.Add(-1)
+		f.mu.Unlock()
+		spins = 0
+	}
+}
+
+func (f *Fabric) startWorkers() {
+	f.stop.Store(false)
+	n := f.workers
+	if n > len(f.shards) {
+		n = len(f.shards)
+	}
+	// The coordinating goroutine claims shards too: n-1 pool goroutines
+	// plus the coordinator equal the configured parallelism.
+	for i := 0; i < n-1; i++ {
+		f.workerWG.Add(1)
+		go f.worker()
+	}
+}
+
+func (f *Fabric) stopWorkers() {
+	f.stop.Store(true)
+	f.mu.Lock()
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	f.workerWG.Wait()
+}
+
+// collect moves every shard's outbox into the pending set. Runs only at
+// barriers (single-threaded).
+func (f *Fabric) collect() {
+	for _, s := range f.shards {
+		for _, m := range s.outbox {
+			if !m.daemon {
+				f.liveMsgs++
+			}
+			f.pending = append(f.pending, m)
+		}
+		s.outbox = s.outbox[:0]
+	}
+	if len(f.pending) > f.stats.MaxPending {
+		f.stats.MaxPending = len(f.pending)
+	}
+}
+
+// totalLive sums the shards' pending non-daemon events.
+func (f *Fabric) totalLive() int {
+	n := 0
+	for _, s := range f.shards {
+		n += s.eng.live
+	}
+	return n
+}
+
+// nextTime returns the earliest pending event or message anywhere.
+func (f *Fabric) nextTime() (float64, bool) {
+	t, ok := math.Inf(1), false
+	for _, s := range f.shards {
+		if pt, has := s.eng.PeekTime(); has && pt < t {
+			t, ok = pt, true
+		}
+	}
+	for i := range f.pending {
+		if f.pending[i].deliver < t {
+			t, ok = f.pending[i].deliver, true
+		}
+	}
+	return t, ok
+}
+
+// routeBefore moves every pending message with deliver < end into its
+// destination shard's inbox, in the deterministic total order
+// (deliverTime, srcShard, srcSeq). The destination's runner inserts its
+// inbox — in that order — before executing the window, so the engine's
+// event sequence numbers, and with them all same-instant tie-breaks,
+// are identical for every worker count. Routing is the only serial
+// message cost; the heap insertions happen on the shards, in parallel.
+func (f *Fabric) routeBefore(end float64) {
+	due := f.deliverBuf[:0]
+	rest := f.pending[:0]
+	for _, m := range f.pending {
+		if m.deliver < end {
+			due = append(due, m)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	// Clear the tail so retained closures don't leak.
+	for i := len(rest); i < len(f.pending); i++ {
+		f.pending[i] = fabricMsg{}
+	}
+	f.pending = rest
+	f.deliverBuf = due
+	if len(due) == 0 {
+		return
+	}
+	sortMsgs(due)
+	for i := range due {
+		m := &due[i]
+		dst := f.shards[m.dst]
+		dst.inbox = append(dst.inbox, *m)
+		if !m.daemon {
+			f.liveMsgs--
+		}
+		f.stats.Messages++
+		m.fn = nil
+	}
+}
+
+// sortMsgs orders messages by (deliver, src, seq) — insertion sort; the
+// per-window batch is small and usually nearly sorted.
+func sortMsgs(ms []fabricMsg) {
+	for i := 1; i < len(ms); i++ {
+		m := ms[i]
+		j := i - 1
+		for j >= 0 && msgAfter(ms[j], m) {
+			ms[j+1] = ms[j]
+			j--
+		}
+		ms[j+1] = m
+	}
+}
+
+func msgAfter(a, b fabricMsg) bool {
+	if a.deliver != b.deliver {
+		return a.deliver > b.deliver
+	}
+	if a.src != b.src {
+		return a.src > b.src
+	}
+	return a.seq > b.seq
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"sort"
+
+	"ibis/internal/iosched"
+)
+
+// Sharded is a set of per-shard tracers for parallel simulation: each
+// shard's schedulers record into their own ring with zero
+// synchronization, and Merge assembles one Tracer deterministically
+// after the run. The merge key is (event time, shard, ring order):
+// per-shard rings are already in nondecreasing time order (each shard's
+// engine clock is monotonic), so the merged order — and any digest
+// taken over the merged trace — is a pure function of the simulated
+// system, independent of how many worker goroutines executed it.
+type Sharded struct {
+	tracers []*Tracer
+	epochs  []EpochMark
+	enabled bool
+}
+
+// NewSharded creates n per-shard tracers, each with the given ring
+// capacity (the same rounding as New).
+func NewSharded(n, capacity int) *Sharded {
+	s := &Sharded{enabled: true}
+	for i := 0; i < n; i++ {
+		s.tracers = append(s.tracers, New(capacity))
+	}
+	return s
+}
+
+// Shard returns shard i's tracer. Probes built from it must only be
+// installed on schedulers owned by that shard.
+func (s *Sharded) Shard(i int) *Tracer { return s.tracers[i] }
+
+// Probe returns a probe recording into shard's tracer, labeled with the
+// node index and device kind.
+func (s *Sharded) Probe(shard, node int, dev DeviceKind) iosched.Probe {
+	return s.tracers[shard].Probe(node, dev)
+}
+
+// SetEnabled switches recording on or off on every shard.
+func (s *Sharded) SetEnabled(on bool) {
+	s.enabled = on
+	for _, t := range s.tracers {
+		t.SetEnabled(on)
+	}
+}
+
+// NoteEpoch records a share-tree transition mark. Transitions are
+// control-plane events that occur outside parallel windows (sharded
+// runs forbid mid-run tree mutation), so a single list needs no
+// synchronization.
+func (s *Sharded) NoteEpoch(time float64, epoch uint64, detail string) {
+	if !s.enabled {
+		return
+	}
+	s.epochs = append(s.epochs, EpochMark{Time: time, Epoch: epoch, Detail: detail})
+}
+
+// Total sums the records ever written across shards.
+func (s *Sharded) Total() uint64 {
+	var n uint64
+	for _, t := range s.tracers {
+		n += t.Total()
+	}
+	return n
+}
+
+// Merge assembles the per-shard rings into one Tracer in deterministic
+// (time, shard, ring order) order. Call it after the run; the returned
+// Tracer supports the full export surface (JSONL, Chrome trace,
+// Requests). Records a shard's ring dropped are simply absent, exactly
+// as with a single ring of the same per-shard capacity.
+func (s *Sharded) Merge() *Tracer {
+	type tagged struct {
+		r     Record
+		shard int
+		idx   int
+	}
+	var all []tagged
+	for si, t := range s.tracers {
+		for i, r := range t.Records() {
+			all = append(all, tagged{r: r, shard: si, idx: i})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.r.Time != b.r.Time {
+			return a.r.Time < b.r.Time
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.idx < b.idx
+	})
+	m := New(ceilPow2(len(all)))
+	for _, e := range all {
+		m.absorb(e.r)
+	}
+	m.epochs = append([]EpochMark(nil), s.epochs...)
+	return m
+}

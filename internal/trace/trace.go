@@ -111,23 +111,128 @@ type Record struct {
 // non-positive capacity (64Ki records ≈ a few MB).
 const DefaultCapacity = 1 << 16
 
+// rec is the in-ring record layout: Record with the app string replaced
+// by an intern-table index. No field carries a pointer, so a ring write
+// is barrier-free and the garbage collector never scans the buffer —
+// the two costs that dominated tracing overhead with the exported
+// layout in the ring.
+type rec struct {
+	time      float64
+	seq       uint64
+	size      float64
+	weight    float64
+	epoch     uint64
+	cost      float64
+	startTag  float64
+	finishTag float64
+	vtime     float64
+	latency   float64
+	node      int32
+	queued    int32
+	inFlight  int32
+	depth     int32
+	app       uint32
+	dev       DeviceKind
+	event     iosched.ProbeEvent
+	class     iosched.Class
+}
+
 // Tracer is a ring-buffered lifecycle recorder. It is not safe for
-// concurrent use; the simulation is single-threaded by construction.
+// concurrent use; each Tracer belongs to one simulation engine (in
+// sharded runs, one per shard — see Sharded).
 type Tracer struct {
-	buf     []Record
+	buf     []rec
+	mask    uint64 // len(buf)-1; the capacity is a power of two
 	next    uint64 // total records ever written
 	epochs  []EpochMark
 	enabled bool
+
+	// App-string interning: apps holds each distinct AppID once, ring
+	// records store the index. A one-entry cache catches the common
+	// case (runs of records from the same app) without a map lookup.
+	apps     []iosched.AppID
+	appIdx   map[iosched.AppID]uint32
+	lastApp  iosched.AppID
+	lastIdx  uint32
+	haveLast bool
 }
 
 // New creates a tracer with the given ring capacity (non-positive =
-// DefaultCapacity). The ring is allocated up front so recording never
-// allocates; the tracer starts enabled.
+// DefaultCapacity; other values round up to the next power of two so
+// the ring index is a mask, not a division). The ring is allocated up
+// front so recording never allocates; the tracer starts enabled.
 func New(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Tracer{buf: make([]Record, capacity), enabled: true}
+	capacity = ceilPow2(capacity)
+	return &Tracer{
+		buf:     make([]rec, capacity),
+		mask:    uint64(capacity - 1),
+		enabled: true,
+		appIdx:  make(map[iosched.AppID]uint32),
+	}
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// intern returns the stable index of app in the tracer's app table.
+func (t *Tracer) intern(app iosched.AppID) uint32 {
+	if t.haveLast && app == t.lastApp {
+		return t.lastIdx
+	}
+	idx, ok := t.appIdx[app]
+	if !ok {
+		idx = uint32(len(t.apps))
+		t.apps = append(t.apps, app)
+		t.appIdx[app] = idx
+	}
+	t.lastApp, t.lastIdx, t.haveLast = app, idx, true
+	return idx
+}
+
+// export materializes one ring record in the public layout.
+func (t *Tracer) export(r *rec) Record {
+	return Record{
+		Time: r.time, Node: r.node, Dev: r.dev, Event: r.event,
+		App: t.apps[r.app], Class: r.class, Seq: r.seq, Size: r.size,
+		Weight: r.weight, Epoch: r.epoch, Cost: r.cost,
+		StartTag: r.startTag, FinishTag: r.finishTag, VTime: r.vtime,
+		Queued: r.queued, InFlight: r.inFlight, Depth: r.depth,
+		Latency: r.latency,
+	}
+}
+
+// absorb writes an exported record back into the ring (deterministic
+// merge of per-shard tracers).
+func (t *Tracer) absorb(r Record) {
+	s := &t.buf[t.next&t.mask]
+	t.next++
+	s.time = r.Time
+	s.node = r.Node
+	s.dev = r.Dev
+	s.event = r.Event
+	s.app = t.intern(r.App)
+	s.class = r.Class
+	s.seq = r.Seq
+	s.size = r.Size
+	s.weight = r.Weight
+	s.epoch = r.Epoch
+	s.cost = r.Cost
+	s.startTag = r.StartTag
+	s.finishTag = r.FinishTag
+	s.vtime = r.VTime
+	s.queued = r.Queued
+	s.inFlight = r.InFlight
+	s.depth = r.Depth
+	s.latency = r.Latency
 }
 
 // SetEnabled switches recording on or off; records already captured are
@@ -160,7 +265,8 @@ func (t *Tracer) Dropped() uint64 {
 	return t.next - uint64(len(t.buf))
 }
 
-// Reset discards all records and epoch marks (capacity is kept).
+// Reset discards all records and epoch marks (capacity and the app
+// intern table are kept).
 func (t *Tracer) Reset() { t.next = 0; t.epochs = nil }
 
 // Records returns the held records, oldest first.
@@ -168,12 +274,15 @@ func (t *Tracer) Records() []Record {
 	n := t.Len()
 	out := make([]Record, n)
 	if t.next <= uint64(len(t.buf)) {
-		copy(out, t.buf[:n])
+		for i := 0; i < n; i++ {
+			out[i] = t.export(&t.buf[i])
+		}
 		return out
 	}
-	start := int(t.next % uint64(len(t.buf)))
-	copy(out, t.buf[start:])
-	copy(out[len(t.buf)-start:], t.buf[:start])
+	start := int(t.next & t.mask)
+	for i := 0; i < n; i++ {
+		out[i] = t.export(&t.buf[(start+i)&int(t.mask)])
+	}
 	return out
 }
 
@@ -190,32 +299,33 @@ type probe struct {
 	dev  DeviceKind
 }
 
-// Observe implements iosched.Probe: one ring write, no allocation.
+// Observe implements iosched.Probe: one barrier-free ring write, no
+// allocation, no division (the ring index is a mask).
 func (p probe) Observe(req *iosched.Request, st iosched.ProbeState) {
 	t := p.t
 	if !t.enabled {
 		return
 	}
-	r := &t.buf[t.next%uint64(len(t.buf))]
+	r := &t.buf[t.next&t.mask]
 	t.next++
-	r.Time = st.Time
-	r.Node = p.node
-	r.Dev = p.dev
-	r.Event = st.Event
-	r.App = req.App
-	r.Class = req.Class
-	r.Seq = req.Seq()
-	r.Size = req.Size
-	r.Weight = req.Weight()
-	r.Epoch = req.ShareEpoch()
-	r.Cost = req.Cost()
-	r.StartTag = req.StartTag()
-	r.FinishTag = req.FinishTag()
-	r.VTime = st.VTime
-	r.Queued = int32(st.Queued)
-	r.InFlight = int32(st.InFlight)
-	r.Depth = int32(st.Depth)
-	r.Latency = st.Latency
+	r.time = st.Time
+	r.node = p.node
+	r.dev = p.dev
+	r.event = st.Event
+	r.app = t.intern(req.App)
+	r.class = req.Class
+	r.seq = req.Seq()
+	r.size = req.Size
+	r.weight = req.Weight()
+	r.epoch = req.ShareEpoch()
+	r.cost = req.Cost()
+	r.startTag = req.StartTag()
+	r.finishTag = req.FinishTag()
+	r.vtime = st.VTime
+	r.queued = int32(st.Queued)
+	r.inFlight = int32(st.InFlight)
+	r.depth = int32(st.Depth)
+	r.latency = st.Latency
 }
 
 // EpochMark records one share-tree transition observed while tracing,
