@@ -94,6 +94,50 @@ func parseReweight(s string) (experiments.ReweightSpec, error) {
 	return spec, nil
 }
 
+// scaleSpecFlag parameterizes the "scale" experiment: the hollow-node
+// population shape as nodes=<n>,tenants=<n>,flows=<n>[,apps=<n>]
+// [,shards=<n>][,seed=<n>][,horizon=<s>].
+var scaleSpecFlag = flag.String("scale-spec", "",
+	"hollow-node scale population nodes=,tenants=,flows=[,apps=][,shards=][,seed=][,horizon=] (empty = 200 nodes, 1000 tenants, 100k flows)")
+
+// parseScaleSpec turns the flag into a spec; the empty string keeps
+// the CI-sized default shape.
+func parseScaleSpec(s string) (experiments.ScaleSpec, error) {
+	spec := experiments.DefaultScaleSpec()
+	if s == "" {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("scale-spec: malformed field %q (want k=v)", kv)
+		}
+		var err error
+		switch k {
+		case "nodes":
+			_, err = fmt.Sscanf(v, "%d", &spec.Nodes)
+		case "tenants":
+			_, err = fmt.Sscanf(v, "%d", &spec.Tenants)
+		case "apps":
+			_, err = fmt.Sscanf(v, "%d", &spec.Apps)
+		case "flows":
+			_, err = fmt.Sscanf(v, "%d", &spec.Flows)
+		case "shards":
+			_, err = fmt.Sscanf(v, "%d", &spec.Shards)
+		case "seed":
+			_, err = fmt.Sscanf(v, "%d", &spec.Seed)
+		case "horizon":
+			_, err = fmt.Sscanf(v, "%g", &spec.Horizon)
+		default:
+			return spec, fmt.Errorf("scale-spec: unknown field %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("scale-spec: bad value %q for %s", v, k)
+		}
+	}
+	return spec, nil
+}
+
 // Fault-injection flags, consumed by the "fault-custom" experiment.
 var (
 	faultSeed     = flag.Int64("fault-seed", 1, "seed driving generated fault schedules and message-fault rolls")
@@ -277,6 +321,14 @@ var extras = []namedExp{
 	// Robustness: coordination-plane fault injection.
 	{"fault-matrix", func(float64) (fmt.Stringer, error) { return experiments.FaultMatrix() }},
 	{"fault-custom", func(float64) (fmt.Stringer, error) { return experiments.FaultCustom(customFaultSpec()) }},
+	// Scale: the hollow-node harness, parameterized by -scale-spec.
+	{"scale", func(float64) (fmt.Stringer, error) {
+		spec, err := parseScaleSpec(*scaleSpecFlag)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.ScaleBench(spec)
+	}},
 	// Runtime control plane: live mid-run reweighting through the
 	// share tree, parameterized by -reweight.
 	{"reweight", func(float64) (fmt.Stringer, error) {

@@ -128,6 +128,13 @@ type Config struct {
 	// through at tag time. Nil gets a fresh tree whose implicit
 	// singleton tenants reproduce flat per-app weights exactly.
 	Shares *shares.Tree
+
+	// Hollow strips each datanode to the scale-harness minimum: one
+	// HDFS device with its interposed scheduler and (with Coordinate)
+	// its broker client. No local device, no NICs, no network
+	// scheduler — the kubemark-style hollow node. Hollow nodes accept
+	// only persistent-class SubmitIO; Send/SendTagged are unsupported.
+	Hollow bool
 }
 
 func (c *Config) defaults() {
@@ -277,9 +284,11 @@ func assemble(eng *sim.Engine, fab *sim.Fabric, cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		localCtrl, err = fillController(cfg.Controller, cfg.LocalDisk)
-		if err != nil {
-			return nil, err
+		if !cfg.Hollow {
+			localCtrl, err = fillController(cfg.Controller, cfg.LocalDisk)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -320,30 +329,34 @@ func assemble(eng *sim.Engine, fab *sim.Fabric, cfg Config) (*Cluster, error) {
 			nodeEng = n.shard.Engine()
 		}
 		n.HDFS = storage.NewDevice(nodeEng, fmt.Sprintf("node%d-hdfs", i), cfg.HDFSDisk)
-		n.Local = storage.NewDevice(nodeEng, fmt.Sprintf("node%d-local", i), cfg.LocalDisk)
 		c.devByName[fmt.Sprintf("node%d-hdfs", i)] = n.HDFS
-		c.devByName[fmt.Sprintf("node%d-local", i)] = n.Local
 		c.engByID[fmt.Sprintf("node%d-hdfs", i)] = nodeEng
-		c.engByID[fmt.Sprintf("node%d-local", i)] = nodeEng
-		n.nicOut = sim.NewPSResource(nodeEng, fmt.Sprintf("node%d-nic-out", i), sim.ConstantCapacity(cfg.NICBandwidth))
-		n.nicIn = sim.NewPSResource(nodeEng, fmt.Sprintf("node%d-nic-in", i), sim.ConstantCapacity(cfg.NICBandwidth))
 
 		var err error
 		n.HDFSSched, err = c.buildScheduler(nodeEng, n.HDFS, true, hdfsCtrl)
 		if err != nil {
 			return nil, err
 		}
-		n.LocalSched, err = c.buildScheduler(nodeEng, n.Local, false, localCtrl)
-		if err != nil {
-			return nil, err
-		}
-		if cfg.ScheduleNetwork {
-			n.NetSched = iosched.NewSFQD(nodeEng, &linkBackend{eng: nodeEng, res: n.nicOut}, cfg.NetworkDepth)
+		if !cfg.Hollow {
+			n.Local = storage.NewDevice(nodeEng, fmt.Sprintf("node%d-local", i), cfg.LocalDisk)
+			c.devByName[fmt.Sprintf("node%d-local", i)] = n.Local
+			c.engByID[fmt.Sprintf("node%d-local", i)] = nodeEng
+			n.nicOut = sim.NewPSResource(nodeEng, fmt.Sprintf("node%d-nic-out", i), sim.ConstantCapacity(cfg.NICBandwidth))
+			n.nicIn = sim.NewPSResource(nodeEng, fmt.Sprintf("node%d-nic-in", i), sim.ConstantCapacity(cfg.NICBandwidth))
+			n.LocalSched, err = c.buildScheduler(nodeEng, n.Local, false, localCtrl)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.ScheduleNetwork {
+				n.NetSched = iosched.NewSFQD(nodeEng, &linkBackend{eng: nodeEng, res: n.nicOut}, cfg.NetworkDepth)
+			}
 		}
 
 		if c.Broker != nil {
 			c.attach(n, nodeEng, "hdfs", n.HDFSSched, fmt.Sprintf("node%d-hdfs", i))
-			c.attach(n, nodeEng, "local", n.LocalSched, fmt.Sprintf("node%d-local", i))
+			if !cfg.Hollow {
+				c.attach(n, nodeEng, "local", n.LocalSched, fmt.Sprintf("node%d-local", i))
+			}
 		}
 		c.Nodes = append(c.Nodes, n)
 	}
@@ -612,6 +625,9 @@ func (c *Cluster) TotalCores() int {
 func (n *Node) SubmitIO(req *iosched.Request) error {
 	if req.Shares == nil {
 		req.Shares = n.shares
+	}
+	if n.LocalSched == nil && !req.Class.Persistent() {
+		return fmt.Errorf("cluster: node %d is hollow; class %v has no device", n.Index, req.Class)
 	}
 	if n.shard != nil {
 		n.submitSharded(req)

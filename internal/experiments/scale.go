@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ibis/internal/metrics"
+	"ibis/internal/scale"
+)
+
+// ScaleSpec parameterizes the hollow-node scale experiment (the
+// kubemark-style harness in internal/scale): the population shape, the
+// target in-flight flow count, and the worker counts to pin
+// determinism across.
+type ScaleSpec struct {
+	Nodes   int
+	Tenants int
+	// Apps is the per-tenant application count.
+	Apps int
+	// Flows is the target peak in-flight request count; the horizon is
+	// derived from it unless Horizon is set explicitly.
+	Flows int
+	// Shards is the parallel worker count of the second leg (the first
+	// leg always runs serial; equal digests pin determinism).
+	Shards  int
+	Seed    uint64
+	Horizon float64
+}
+
+// DefaultScaleSpec is a CI-sized hollow run: two hundred nodes, a
+// thousand tenants, a hundred thousand flows in flight.
+func DefaultScaleSpec() ScaleSpec {
+	return ScaleSpec{
+		Nodes:   200,
+		Tenants: 1000,
+		Apps:    1,
+		Flows:   100_000,
+		Shards:  4,
+		Seed:    1,
+	}
+}
+
+// horizonFor derives the submission horizon that accumulates roughly
+// spec.Flows outstanding requests: under the default 1.4× offered load
+// with sizes uniform on [0.5, 2)×mean (served mean 1.25×mean), the
+// per-node backlog grows at ≈ rate × (1.4 − 1/1.25) ≈ 60 requests/s.
+func (s ScaleSpec) horizonFor() float64 {
+	if s.Horizon > 0 {
+		return s.Horizon
+	}
+	const backlogPerNode = 60.0
+	h := float64(s.Flows) / (backlogPerNode * float64(s.Nodes))
+	if h < 5 {
+		h = 5
+	}
+	return h
+}
+
+func (s ScaleSpec) config(workers int) scale.Config {
+	return scale.Config{
+		Nodes:         s.Nodes,
+		Tenants:       s.Tenants,
+		AppsPerTenant: s.Apps,
+		Replicas:      3,
+		Seed:          s.Seed,
+		Horizon:       s.horizonFor(),
+		Workers:       workers,
+		Audit:         true,
+		// Sample roughly 16 nodes: full probe logs at thousands of
+		// nodes would dominate the heap the harness is measuring.
+		AuditSampleEvery: max(1, s.Nodes/16),
+	}
+}
+
+// ScaleRow is one leg of the scale experiment.
+type ScaleRow struct {
+	Workers int
+	Stats   metrics.ScaleStats
+}
+
+// ScaleResult reports the hollow-node scale experiment: the same
+// generated population run serially and on the sharded fabric, with
+// the deterministic surface (population, traffic, fairness, digest)
+// printed on stdout and the host-dependent envelope (events/sec, peak
+// heap, bytes/flow) surfaced through StderrNote.
+type ScaleResult struct {
+	Spec  ScaleSpec
+	Rows  []ScaleRow
+	Match bool // all digests identical across worker counts
+}
+
+func (r *ScaleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scale: hollow-node harness (flows target %d)\n", r.Spec.Flows)
+	b.WriteString(r.Rows[0].Stats.Deterministic())
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "workers=%d digest=%016x\n", row.Workers, row.Stats.Digest)
+	}
+	fmt.Fprintf(&b, "deterministic-across-workers=%v\n", r.Match)
+	return b.String()
+}
+
+// StderrNote reports the wall-clock envelope, which varies by host and
+// must stay off the deterministic stdout surface.
+func (r *ScaleResult) StderrNote() string {
+	var b strings.Builder
+	for i, row := range r.Rows {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		st := row.Stats
+		fmt.Fprintf(&b, "workers=%d events/sec=%.0f wall=%.1fs peak-heap=%.0fMB bytes/flow=%.0f",
+			row.Workers, st.EventsPerSec, st.WallSeconds, float64(st.PeakHeapBytes)/1e6, st.BytesPerFlow)
+	}
+	return b.String()
+}
+
+// ScaleBench runs the hollow-node scale experiment described by spec.
+func ScaleBench(spec ScaleSpec) (*ScaleResult, error) {
+	if spec.Nodes <= 0 || spec.Tenants <= 0 {
+		return nil, fmt.Errorf("scale: nodes and tenants must be positive")
+	}
+	workers := []int{1}
+	if spec.Shards > 1 {
+		workers = append(workers, spec.Shards)
+	}
+	res := &ScaleResult{Spec: spec, Match: true}
+	for _, w := range workers {
+		rep, err := scale.Run(spec.config(w))
+		if err != nil {
+			return nil, err
+		}
+		if rep.AuditErr != nil {
+			return nil, fmt.Errorf("scale: workers=%d audit: %w", w, rep.AuditErr)
+		}
+		res.Rows = append(res.Rows, ScaleRow{Workers: w, Stats: rep.Stats})
+		if rep.Stats.Digest != res.Rows[0].Stats.Digest {
+			res.Match = false
+		}
+	}
+	if !res.Match {
+		return nil, fmt.Errorf("scale: digests diverged across worker counts")
+	}
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package iosched
+
+// Request pooling and application-ID interning for scale runs.
+//
+// A hollow-datanode simulation keeps millions of requests in flight;
+// allocating each *Request individually scatters them across the heap
+// and charges the garbage collector for every one. RequestPool packs
+// records into large contiguous slabs (structure-of-arrays at the slab
+// level: one allocation holds thousands of adjacent Request structs)
+// and recycles completed records through a free list, so steady-state
+// submission allocates only when the live population grows past its
+// previous peak.
+//
+// Interner complements the pool on the other axis: with thousands of
+// generated tenants × apps, every request carrying its own copy of the
+// AppID string header would duplicate the backing bytes per node.
+// Interning canonicalizes each distinct ID to a single backing string
+// shared by every request, flow-state map key, and accounting entry.
+
+// requestSlabSize is the default number of Request records per slab.
+// At ~128 B per record a slab is ~½ MB — large enough to amortize
+// allocator overhead, small enough not to strand memory on tiny runs.
+const requestSlabSize = 4096
+
+// RequestPool is a slab-backed free-list allocator for Request records.
+// It is not safe for concurrent use: in sharded simulations each shard
+// owns its own pool, matching the single-owner engine discipline.
+type RequestPool struct {
+	slabs [][]Request
+	free  []*Request
+	next  int // records handed out of the newest slab
+	slab  int // records per slab
+
+	outstanding int
+}
+
+// NewRequestPool returns a pool with the given slab size (records per
+// contiguous allocation); sizes < 1 take the default.
+func NewRequestPool(slabSize int) *RequestPool {
+	if slabSize < 1 {
+		slabSize = requestSlabSize
+	}
+	return &RequestPool{slab: slabSize}
+}
+
+// Get returns a zeroed Request. The caller fills the public fields and
+// submits it; ownership returns to the pool only through Put.
+func (p *RequestPool) Get() *Request {
+	p.outstanding++
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return r
+	}
+	if len(p.slabs) == 0 || p.next == p.slab {
+		p.slabs = append(p.slabs, make([]Request, p.slab))
+		p.next = 0
+	}
+	r := &p.slabs[len(p.slabs)-1][p.next]
+	p.next++
+	return r
+}
+
+// Put recycles a completed request. The record is zeroed — public
+// fields, closures, and all private scheduling state — so a later Get
+// hands out a Request indistinguishable from a freshly allocated one.
+// The caller must guarantee no scheduler, probe, or observer still
+// holds the pointer: the safe recycle point is the OnDone/Observer
+// callback, which every scheduler in the tree invokes after its last
+// touch of the record.
+func (p *RequestPool) Put(r *Request) {
+	*r = Request{}
+	p.free = append(p.free, r)
+	p.outstanding--
+}
+
+// Outstanding returns Get minus Put — the live record count.
+func (p *RequestPool) Outstanding() int { return p.outstanding }
+
+// Allocated returns the total records backed by slabs (the pool's
+// memory footprint in records, reached at the historical peak).
+func (p *RequestPool) Allocated() int {
+	if len(p.slabs) == 0 {
+		return 0
+	}
+	return (len(p.slabs)-1)*p.slab + p.next
+}
+
+// Interner canonicalizes AppID strings: every distinct ID maps to one
+// shared backing string. Not safe for concurrent mutation; populate it
+// before a sharded run (reads of a quiescent interner are safe from
+// any shard).
+type Interner struct {
+	ids map[string]AppID
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]AppID)}
+}
+
+// Intern returns the canonical AppID for s, registering it on first
+// use.
+func (in *Interner) Intern(s string) AppID {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	id := AppID(s)
+	in.ids[s] = id
+	return id
+}
+
+// Len returns the number of distinct IDs interned.
+func (in *Interner) Len() int { return len(in.ids) }

@@ -1,0 +1,81 @@
+package iosched
+
+import "testing"
+
+func TestRequestPoolRecycleZeroes(t *testing.T) {
+	p := NewRequestPool(4)
+	r := p.Get()
+	r.App = "a"
+	r.Shares = FixedWeight(2)
+	r.Size = 123
+	r.OnDone = func(float64) {}
+	r.weight = 2
+	r.startTag = 9
+	r.finishTag = 10
+	r.seq = 7
+	r.heapIndex = 3
+	p.Put(r)
+	if p.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after Put, want 0", p.Outstanding())
+	}
+	got := p.Get()
+	if got != r {
+		t.Fatalf("free list did not recycle the record")
+	}
+	if got.App != "" || got.Shares != nil || got.Size != 0 || got.OnDone != nil ||
+		got.weight != 0 || got.startTag != 0 || got.finishTag != 0 ||
+		got.seq != 0 || got.heapIndex != 0 {
+		t.Fatalf("recycled record not zeroed: %+v", *got)
+	}
+}
+
+func TestRequestPoolSlabGrowth(t *testing.T) {
+	p := NewRequestPool(3)
+	var live []*Request
+	for i := 0; i < 10; i++ {
+		live = append(live, p.Get())
+	}
+	if got := p.Allocated(); got != 10 {
+		t.Fatalf("allocated = %d, want 10", got)
+	}
+	if got := p.Outstanding(); got != 10 {
+		t.Fatalf("outstanding = %d, want 10", got)
+	}
+	// Records must be distinct.
+	seen := map[*Request]bool{}
+	for _, r := range live {
+		if seen[r] {
+			t.Fatal("pool handed out the same record twice")
+		}
+		seen[r] = true
+	}
+	// Recycle everything; the next 10 Gets must not grow the slabs.
+	for _, r := range live {
+		p.Put(r)
+	}
+	for i := 0; i < 10; i++ {
+		p.Get()
+	}
+	if got := p.Allocated(); got != 10 {
+		t.Fatalf("allocated grew to %d after steady-state churn, want 10", got)
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("tenant-0042/app-7")
+	b := in.Intern("tenant-0042/app-7")
+	if a != b {
+		t.Fatal("interner returned different IDs for the same string")
+	}
+	if in.Len() != 1 {
+		t.Fatalf("len = %d, want 1", in.Len())
+	}
+	c := in.Intern("tenant-0042/app-8")
+	if c == a {
+		t.Fatal("distinct strings interned to the same ID")
+	}
+	if in.Len() != 2 {
+		t.Fatalf("len = %d, want 2", in.Len())
+	}
+}

@@ -1,0 +1,50 @@
+package scale
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkScaleGate1000 is the acceptance-criteria shape — 1000 hollow
+// nodes, 10k tenants, >1M requests in flight — run at each worker
+// count. The reported metrics are the envelope BENCH_*_scale.json
+// records and CI gates on: events/sec (throughput), bytes/flow and
+// peak-heap-MB (memory). Digest equality across the worker counts is
+// asserted inline.
+func BenchmarkScaleGate1000(b *testing.B) {
+	var serial uint64
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := Run(Config{
+					Nodes:            1000,
+					Tenants:          10000,
+					AppsPerTenant:    1,
+					Replicas:         3,
+					Seed:             20260809,
+					Horizon:          25,
+					Workers:          workers,
+					Audit:            true,
+					AuditSampleEvery: 100,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.AuditErr != nil {
+					b.Fatalf("audit: %v", rep.AuditErr)
+				}
+				st := rep.Stats
+				if workers == 1 {
+					serial = st.Digest
+				} else if serial != 0 && st.Digest != serial {
+					b.Fatalf("workers=%d digest %016x != serial %016x", workers, st.Digest, serial)
+				}
+				b.ReportMetric(st.EventsPerSec, "events/sec")
+				b.ReportMetric(st.BytesPerFlow, "bytes/flow")
+				b.ReportMetric(float64(st.PeakHeapBytes)/1e6, "peak-heap-MB")
+				b.ReportMetric(float64(st.PeakInFlight), "peak-in-flight")
+			}
+		})
+	}
+}

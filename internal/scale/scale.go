@@ -1,0 +1,456 @@
+// Package scale is the kubemark/clusterloader2-style scale suite: it
+// runs the existing simulator with hollow datanodes (one device + one
+// interposed scheduler per node, slab-pooled requests, interned app
+// IDs) and generated multi-tenant populations (thousands of tenants ×
+// apps with weighted share trees and open-loop arrival processes), and
+// measures the envelope real experiments cannot reach — millions of
+// requests in flight across a thousand nodes — while keeping the two
+// properties that make it a test harness rather than a demo:
+//
+//   - deterministic under sim.Fabric sharding: the completion-stream
+//     digest is bit-identical for every worker count;
+//   - audit-clean: proportional-share invariants hold at full scale.
+//
+// Every run reports fairness ratios alongside bytes-per-flow,
+// bytes-per-node, events/sec and peak heap; the CI gates regress on
+// those numbers via BENCH_*_scale.json.
+package scale
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ibis/internal/audit"
+	"ibis/internal/cluster"
+	"ibis/internal/faults"
+	"ibis/internal/iosched"
+	"ibis/internal/metrics"
+	"ibis/internal/shares"
+	"ibis/internal/sim"
+	"ibis/internal/storage"
+	"ibis/internal/workloads"
+)
+
+// Config describes one scale run. Zero fields take smoke-sized
+// defaults; the CI gate overrides them to the 1000-node / 10k-tenant
+// shape.
+type Config struct {
+	// Nodes is the hollow datanode count.
+	Nodes int
+	// Tenants × AppsPerTenant apps are generated; each app runs on
+	// Replicas nodes.
+	Tenants       int
+	AppsPerTenant int
+	Replicas      int
+	// Seed drives the population generator and every request-size draw.
+	Seed uint64
+	// Horizon is the submission window in virtual seconds; after it the
+	// pumps stop and the run drains.
+	Horizon float64
+	// TickPeriod is the pump period (batching granularity of the
+	// open-loop arrival process).
+	TickPeriod float64
+	// LoadFactor is the offered load relative to cluster capacity;
+	// > 1 keeps every app continuously backlogged.
+	LoadFactor float64
+	// MeanRequestBytes sizes requests (log-range [0.5, 2) × mean).
+	MeanRequestBytes float64
+	// NodeBandwidth is the hollow device's flat service rate in
+	// bytes/second.
+	NodeBandwidth float64
+
+	// Policy and Depth wire the per-node scheduler (default SFQ(D), 4).
+	Policy cluster.Policy
+	Depth  int
+	// Coordinate enables the Scheduling Broker across the fabric;
+	// CoordinationPeriod is its exchange period.
+	Coordinate         bool
+	CoordinationPeriod float64
+	// Faults, when non-nil, injects the fault schedule into the
+	// coordination plane (the chaos configurations).
+	Faults *faults.Injector
+
+	// Audit attaches the invariant auditor to every AuditSampleEvery-th
+	// node (1 = all nodes; sampling bounds the deferred log's memory at
+	// the 1000-node shape).
+	Audit            bool
+	AuditSampleEvery int
+
+	// Workers is the fabric's physical parallelism; Lookahead ≤ 0 takes
+	// the cluster default.
+	Workers   int
+	Lookahead float64
+}
+
+func (c *Config) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 8
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 16
+	}
+	if c.AppsPerTenant <= 0 {
+		c.AppsPerTenant = 1
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Replicas > c.Nodes {
+		c.Replicas = c.Nodes
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 10
+	}
+	if c.TickPeriod <= 0 {
+		c.TickPeriod = 0.1
+	}
+	if c.LoadFactor <= 0 {
+		c.LoadFactor = 1.4
+	}
+	if c.MeanRequestBytes <= 0 {
+		c.MeanRequestBytes = 1e6
+	}
+	if c.NodeBandwidth <= 0 {
+		c.NodeBandwidth = 100e6
+	}
+	if c.Depth <= 0 {
+		c.Depth = 4
+	}
+	if c.CoordinationPeriod <= 0 {
+		c.CoordinationPeriod = 1
+	}
+	if c.AuditSampleEvery <= 0 {
+		c.AuditSampleEvery = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+}
+
+// HollowSpec is the flat device model hollow nodes serve from: constant
+// bandwidth, no concurrency curve, no per-op overhead — the simplest
+// backend that still exercises full tag arithmetic and dispatch.
+func HollowSpec(bw float64) storage.Spec {
+	return storage.Spec{
+		Name:       "hollow",
+		ReadBW:     bw,
+		WriteBW:    bw,
+		Curve:      []float64{1},
+		CurveDecay: 1,
+		MinCurve:   1,
+	}
+}
+
+// Report is the outcome of one scale run.
+type Report struct {
+	Stats      metrics.ScaleStats
+	Population *workloads.Population
+	// AuditErr is non-nil if any invariant was violated (nil when the
+	// audit is off).
+	AuditErr   error
+	Violations int
+}
+
+// resident is one app's open-loop arrival state on one node.
+type resident struct {
+	id     iosched.AppID
+	weight float64 // effective weight, for fairness normalization
+	rate   float64 // requests/second on this node
+	credit float64
+}
+
+// nodeCell is the per-node, single-shard-owner state: the request
+// pool, the arrival credits, and the completion counters. Only the
+// node's own engine callbacks touch it during the run; the coordinator
+// reads it after the fabric drains.
+type nodeCell struct {
+	node      *cluster.Node
+	pool      *iosched.RequestPool
+	rng       uint64
+	residents []resident
+
+	submitted uint64
+	completed uint64
+	bytes     float64
+	digest    uint64
+	series    []int // outstanding requests at each pump tick
+	snapHalf  map[iosched.AppID]iosched.AppService
+	snapFull  map[iosched.AppID]iosched.AppService
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+func fnvUint(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func unit(x uint64) float64 {
+	return (float64(x>>11) + 0.5) / (1 << 53)
+}
+
+// Run executes one scale run and reports its envelope. The virtual
+// timeline, completion stream, and digest are pure functions of cfg
+// (Workers changes wall-clock only); events/sec, wall seconds and heap
+// numbers are host-dependent.
+func Run(cfg Config) (*Report, error) {
+	cfg.defaults()
+	pop := workloads.Generate(workloads.PopulationConfig{
+		Tenants:       cfg.Tenants,
+		AppsPerTenant: cfg.AppsPerTenant,
+		Seed:          cfg.Seed,
+		Nodes:         cfg.Nodes,
+		Replicas:      cfg.Replicas,
+		LoadFactor:    cfg.LoadFactor,
+	})
+	tree := shares.NewTree()
+	if err := pop.Bind(tree); err != nil {
+		return nil, fmt.Errorf("scale: binding population: %w", err)
+	}
+	cl, err := cluster.NewHollowSharded(cluster.Config{
+		Nodes:              cfg.Nodes,
+		HDFSDisk:           HollowSpec(cfg.NodeBandwidth),
+		Policy:             cfg.Policy,
+		SFQDepth:           cfg.Depth,
+		Coordinate:         cfg.Coordinate,
+		CoordinationPeriod: cfg.CoordinationPeriod,
+		Faults:             cfg.Faults,
+		Shares:             tree,
+	}, cfg.Lookahead, sim.FabricOptions{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+
+	// Assign residents: app → its placement nodes, rate split evenly.
+	nodeServiceRate := cfg.NodeBandwidth / cfg.MeanRequestBytes
+	cells := make([]nodeCell, cfg.Nodes)
+	for i := range cells {
+		cells[i] = nodeCell{
+			node:     cl.Nodes[i],
+			pool:     iosched.NewRequestPool(0),
+			rng:      splitmix64(cfg.Seed ^ (uint64(i) * 0x9e37)),
+			digest:   fnvOffset,
+			snapHalf: make(map[iosched.AppID]iosched.AppService),
+			snapFull: make(map[iosched.AppID]iosched.AppService),
+		}
+	}
+	for _, app := range pop.Apps() {
+		perNode := pop.ArrivalRate(app, nodeServiceRate) / float64(len(app.Nodes))
+		w, _ := tree.EffectiveWeight(app.ID, iosched.PersistentRead)
+		for _, n := range app.Nodes {
+			cells[n].residents = append(cells[n].residents, resident{
+				id: app.ID, weight: w, rate: perNode,
+			})
+		}
+	}
+
+	// Audit wiring (sampled nodes only; the deferred log is replayed at
+	// Finish on the coordinator).
+	var auditor *audit.Auditor
+	var deferred *audit.Deferred
+	if cfg.Audit {
+		auditor = audit.New(audit.Options{CoordinationPeriod: cfg.CoordinationPeriod})
+		deferred = audit.NewDeferred(auditor, cfg.Nodes+1)
+		if cl.Broker != nil {
+			auditor.AttachBroker(cl.Broker)
+		}
+		cl.Instrument(func(node int, dev string, sched iosched.Scheduler) iosched.Probe {
+			if node%cfg.AuditSampleEvery != 0 {
+				return nil
+			}
+			return deferred.Probe(node+1, node, dev, sched)
+		})
+		if cfg.Coordinate {
+			cl.SetDegradeObserver(
+				func(node int, dev string, t float64) {
+					if node%cfg.AuditSampleEvery == 0 {
+						deferred.NoteDegradeStart(node+1, node, dev, t)
+					}
+				},
+				func(node int, dev string, t float64) {
+					if node%cfg.AuditSampleEvery == 0 {
+						deferred.NoteDegradeEnd(node+1, node, dev, t)
+					}
+				})
+		}
+	}
+
+	// Pumps: one self-rescheduling live event per node, submitting each
+	// resident's accrued arrivals directly into the node's scheduler.
+	// Everything the pump and the completion callbacks touch is owned by
+	// the node's shard.
+	for i := range cells {
+		c := &cells[i]
+		eng := cl.NodeEngine(i)
+		sched := c.node.HDFSSched
+		var step func()
+		step = func() {
+			c.series = append(c.series, c.pool.Outstanding())
+			for ri := range c.residents {
+				r := &c.residents[ri]
+				r.credit += r.rate * cfg.TickPeriod
+				for ; r.credit >= 1; r.credit-- {
+					c.rng = splitmix64(c.rng)
+					size := cfg.MeanRequestBytes * (0.5 + 1.5*unit(c.rng))
+					req := c.pool.Get()
+					req.App = r.id
+					req.Shares = tree
+					req.Class = iosched.PersistentRead
+					req.Size = size
+					req.OnDone = func(lat float64) {
+						c.completed++
+						c.bytes += req.Size
+						d := fnvString(c.digest, string(req.App))
+						d = fnvUint(d, math.Float64bits(req.Size))
+						d = fnvUint(d, math.Float64bits(lat))
+						d = fnvUint(d, math.Float64bits(eng.Now()))
+						c.digest = d
+						c.pool.Put(req)
+					}
+					if err := sched.Submit(req); err != nil {
+						panic(fmt.Sprintf("scale: node %d rejected submit: %v", i, err))
+					}
+					c.submitted++
+				}
+			}
+			if eng.Now()+cfg.TickPeriod < cfg.Horizon-1e-9 {
+				eng.Schedule(cfg.TickPeriod, step)
+			}
+		}
+		eng.Schedule(0, step)
+		// Snapshot per-app service at the horizon midpoint and at the
+		// horizon: fairness is measured over the second half, after the
+		// startup transient has every queue deep. Post-drain totals are
+		// vacuous (every submitted request completes), so fairness is
+		// only meaningful mid-contention.
+		acct := sched.Accounting()
+		eng.ScheduleDaemon(cfg.Horizon/2, func() {
+			for _, r := range c.residents {
+				c.snapHalf[r.id] = acct.Service(r.id)
+			}
+		})
+		eng.ScheduleDaemon(cfg.Horizon, func() {
+			for _, r := range c.residents {
+				c.snapFull[r.id] = acct.Service(r.id)
+			}
+		})
+	}
+
+	// Heap watermark: baseline after construction, sampled on the
+	// coordinator each tick. Host-dependent by nature; never feeds the
+	// digest.
+	hw := metrics.NewHeapWatermark()
+	coord := cl.Eng
+	var sampleHeap func()
+	sampleHeap = func() {
+		hw.Sample()
+		coord.ScheduleDaemon(cfg.TickPeriod, sampleHeap)
+	}
+	coord.ScheduleDaemon(cfg.TickPeriod, sampleHeap)
+
+	wall0 := time.Now()
+	cl.Fabric().Run()
+	wall := time.Since(wall0).Seconds()
+	hw.Sample()
+
+	if deferred != nil {
+		deferred.Finish()
+	}
+
+	// Merge cells in node order.
+	rep := &Report{Population: pop}
+	st := &rep.Stats
+	st.Nodes, st.Tenants, st.Apps = cfg.Nodes, cfg.Tenants, pop.NumApps()
+	digest := uint64(fnvOffset)
+	ticks := 0
+	for i := range cells {
+		if len(cells[i].series) > ticks {
+			ticks = len(cells[i].series)
+		}
+	}
+	// SFQ(D) bounds |W_f/w_f - W_g/w_g| over an interval by roughly
+	// D·maxcost per flow per endpoint (~2·D·maxcost per flow), so the
+	// ratio is only meaningful for flows whose window service dominates
+	// that bound: with a floor of 8·D·maxcost the per-flow error is
+	// ≤ 25% and the pairwise ratio provably ≤ (1.25/0.75) ≈ 1.67 — the
+	// same granularity guard the audit applies per window.
+	minWindowCost := 8 * float64(cfg.Depth) * 2 * cfg.MeanRequestBytes
+	worstRatio := 1.0
+	for i := range cells {
+		c := &cells[i]
+		st.Submitted += c.submitted
+		st.Completed += c.completed
+		st.BytesServed += c.bytes
+		digest = fnvUint(digest, c.digest)
+		lo, hi := math.Inf(1), 0.0
+		for _, r := range c.residents {
+			window := c.snapFull[r.id].Cost - c.snapHalf[r.id].Cost
+			if window < minWindowCost {
+				continue
+			}
+			norm := window / r.weight
+			if norm < lo {
+				lo = norm
+			}
+			if norm > hi {
+				hi = norm
+			}
+		}
+		if hi > 0 && lo < math.Inf(1) && hi/lo > worstRatio {
+			worstRatio = hi / lo
+		}
+	}
+	for k := 0; k < ticks; k++ {
+		inflight := 0
+		for i := range cells {
+			if k < len(cells[i].series) {
+				inflight += cells[i].series[k]
+			}
+		}
+		if inflight > st.PeakInFlight {
+			st.PeakInFlight = inflight
+		}
+	}
+	st.FairnessMaxRatio = worstRatio
+	st.Digest = digest
+	st.Events = cl.Fabric().Fired()
+	st.WallSeconds = wall
+	if wall > 0 {
+		st.EventsPerSec = float64(st.Events) / wall
+	}
+	st.PeakHeapBytes = hw.Peak()
+	if st.PeakInFlight > 0 {
+		st.BytesPerFlow = float64(hw.Growth()) / float64(st.PeakInFlight)
+	}
+	st.BytesPerNode = float64(hw.Growth()) / float64(cfg.Nodes)
+
+	if auditor != nil {
+		rep.Violations = len(auditor.Violations())
+		rep.AuditErr = auditor.Err()
+	}
+	if st.Completed != st.Submitted {
+		return rep, fmt.Errorf("scale: %d of %d requests never completed", st.Submitted-st.Completed, st.Submitted)
+	}
+	return rep, nil
+}

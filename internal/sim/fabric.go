@@ -79,9 +79,23 @@ type Fabric struct {
 	workers   int
 	debug     bool
 
-	pending  []fabricMsg // undelivered cross-shard messages
-	liveMsgs int         // pending non-daemon messages
+	pending  msgHeap // undelivered messages, min-heap on (deliver, src, seq)
+	liveMsgs int     // pending non-daemon messages
 	inWindow atomic.Int32
+
+	// Skew-friendly window accounting. With thousands of hollow shards
+	// only a handful are active in any window, so the coordinator must
+	// not scan every shard per window. nextHeap is a lazy min-heap of
+	// (earliest event time, shard) entries — refreshNext pushes a fresh
+	// entry and bumps the shard's stamp, invalidating older ones, which
+	// are discarded when popped. liveSum tracks the cluster-wide
+	// non-daemon event count incrementally via per-shard deltas. Both
+	// are rebuilt from scratch at every RunUntil entry, the only point
+	// where external callers may have scheduled work at a barrier.
+	nextHeap  []nextEntry
+	nextStamp []uint32
+	prevLive  []int
+	liveSum   int
 
 	// Window dispatch. The coordinator publishes windowEnd and the
 	// active set, then opens the window by bumping gen to an odd value;
@@ -105,10 +119,16 @@ type Fabric struct {
 	cond      *sync.Cond
 	workerWG  sync.WaitGroup
 
-	// scratch buffer reused across windows.
-	deliverBuf []fabricMsg
-
 	stats FabricStats
+}
+
+// nextEntry is one lazy next-event-time cache entry. An entry is valid
+// only while its stamp matches the shard's current nextStamp; stale
+// entries are skipped when they reach the heap top.
+type nextEntry struct {
+	time  float64
+	shard int32
+	stamp uint32
 }
 
 // Shard is one partition: an Engine plus the outbox that carries its
@@ -122,6 +142,7 @@ type Shard struct {
 	outbox  []fabricMsg
 	inbox   []fabricMsg // due messages, inserted by the shard's runner
 	seq     uint64
+	active  bool // member of the window being built (dedup flag)
 	running atomic.Int32
 }
 
@@ -153,6 +174,8 @@ func NewFabric(n int, lookahead float64, opts FabricOptions) *Fabric {
 		}
 		f.shards = append(f.shards, s)
 	}
+	f.nextStamp = make([]uint32, n)
+	f.prevLive = make([]int, n)
 	return f
 }
 
@@ -252,18 +275,26 @@ func (f *Fabric) Run() float64 { return f.RunUntil(math.Inf(1)) }
 // RunUntil is Run bounded by a virtual-time horizon: events and
 // messages at or after limit are left pending. Unlike Engine.RunUntil
 // the bound is exclusive and shard clocks are not advanced to it.
+//
+// Per-window cost is O(active·log shards + messages·log pending), not
+// O(shards): with a heavily skewed population (a busy coordinator
+// among thousands of mostly idle hollow datanode shards) the window
+// loop touches only the shards that actually have work or mail due.
 func (f *Fabric) RunUntil(limit float64) float64 {
 	parallel := f.workers > 1 && len(f.shards) > 1
 	if parallel {
 		f.startWorkers()
 		defer f.stopWorkers()
 	}
+	// External callers may have scheduled events, cancelled them, or
+	// posted messages since the last run — rebuild the incremental
+	// state from the ground truth once, then maintain it per window.
+	f.refreshAll()
 	for {
-		f.collect()
-		if f.totalLive() == 0 && f.liveMsgs == 0 {
+		if f.liveSum == 0 && f.liveMsgs == 0 {
 			break
 		}
-		start, ok := f.nextTime()
+		start, ok := f.peekNext()
 		if !ok || start >= limit {
 			break
 		}
@@ -271,12 +302,32 @@ func (f *Fabric) RunUntil(limit float64) float64 {
 		if end > limit {
 			end = limit
 		}
-		f.routeBefore(end)
 		active := f.active[:0]
-		for _, s := range f.shards {
-			if len(s.inbox) > 0 {
-				active = append(active, s)
-			} else if t, ok := s.eng.PeekTime(); ok && t < end {
+		// Route due mail; destinations join the window.
+		for len(f.pending) > 0 && f.pending[0].deliver < end {
+			m := f.popPending()
+			dst := f.shards[m.dst]
+			dst.inbox = append(dst.inbox, m)
+			if !m.daemon {
+				f.liveMsgs--
+			}
+			f.stats.Messages++
+			if !dst.active {
+				dst.active = true
+				active = append(active, dst)
+			}
+		}
+		// Shards whose next local event falls inside the window join
+		// too. Their heap entries are consumed here; finishWindow
+		// pushes fresh ones after the shard runs.
+		for len(f.nextHeap) > 0 && f.nextHeap[0].time < end {
+			e := f.popNext()
+			if e.stamp != f.nextStamp[e.shard] {
+				continue // stale
+			}
+			s := f.shards[e.shard]
+			if !s.active {
+				s.active = true
 				active = append(active, s)
 			}
 		}
@@ -288,6 +339,7 @@ func (f *Fabric) RunUntil(limit float64) float64 {
 			for _, s := range active {
 				s.runWindow(end)
 			}
+			f.finishWindow()
 			continue
 		}
 		f.stats.ParallelWindows++
@@ -313,8 +365,84 @@ func (f *Fabric) RunUntil(limit float64) float64 {
 			runtime.Gosched()
 		}
 		f.inWindow.Store(0)
+		f.finishWindow()
 	}
 	return f.Now()
+}
+
+// finishWindow folds the shards that just ran back into the
+// incremental window state: outboxes drain into the pending heap, the
+// live-event sum absorbs each shard's delta, and a fresh next-event
+// entry replaces the consumed one. Runs only at barriers.
+func (f *Fabric) finishWindow() {
+	for _, s := range f.active {
+		s.active = false
+		f.liveSum += s.eng.live - f.prevLive[s.id]
+		f.prevLive[s.id] = s.eng.live
+		for _, m := range s.outbox {
+			if !m.daemon {
+				f.liveMsgs++
+			}
+			f.pushPending(m)
+		}
+		s.outbox = s.outbox[:0]
+		f.refreshNext(s)
+	}
+	if len(f.pending) > f.stats.MaxPending {
+		f.stats.MaxPending = len(f.pending)
+	}
+}
+
+// refreshAll rebuilds liveSum, the next-event heap, and the pending
+// set from scratch — the O(shards) ground-truth scan, run once per
+// RunUntil call to absorb any barrier-time scheduling by the caller.
+func (f *Fabric) refreshAll() {
+	f.liveSum = 0
+	f.nextHeap = f.nextHeap[:0]
+	for _, s := range f.shards {
+		f.liveSum += s.eng.live
+		f.prevLive[s.id] = s.eng.live
+		f.nextStamp[s.id]++
+		if t, ok := s.eng.PeekTime(); ok {
+			f.pushNext(nextEntry{time: t, shard: s.id, stamp: f.nextStamp[s.id]})
+		}
+		for _, m := range s.outbox {
+			if !m.daemon {
+				f.liveMsgs++
+			}
+			f.pushPending(m)
+		}
+		s.outbox = s.outbox[:0]
+	}
+	if len(f.pending) > f.stats.MaxPending {
+		f.stats.MaxPending = len(f.pending)
+	}
+}
+
+// refreshNext replaces a shard's next-event cache entry. Bumping the
+// stamp invalidates any older entry still in the heap; the new entry
+// is pushed only if the shard has pending events.
+func (f *Fabric) refreshNext(s *Shard) {
+	f.nextStamp[s.id]++
+	if t, ok := s.eng.PeekTime(); ok {
+		f.pushNext(nextEntry{time: t, shard: s.id, stamp: f.nextStamp[s.id]})
+	}
+}
+
+// peekNext returns the earliest pending event or undelivered message
+// anywhere, discarding stale next-event entries on the way.
+func (f *Fabric) peekNext() (float64, bool) {
+	for len(f.nextHeap) > 0 && f.nextHeap[0].stamp != f.nextStamp[f.nextHeap[0].shard] {
+		f.popNext()
+	}
+	t, ok := math.Inf(1), false
+	if len(f.nextHeap) > 0 {
+		t, ok = f.nextHeap[0].time, true
+	}
+	if len(f.pending) > 0 && f.pending[0].deliver < t {
+		t, ok = f.pending[0].deliver, true
+	}
+	return t, ok
 }
 
 // runWindow drains the shard's due-message inbox into its engine and
@@ -412,100 +540,13 @@ func (f *Fabric) stopWorkers() {
 	f.workerWG.Wait()
 }
 
-// collect moves every shard's outbox into the pending set. Runs only at
-// barriers (single-threaded).
-func (f *Fabric) collect() {
-	for _, s := range f.shards {
-		for _, m := range s.outbox {
-			if !m.daemon {
-				f.liveMsgs++
-			}
-			f.pending = append(f.pending, m)
-		}
-		s.outbox = s.outbox[:0]
-	}
-	if len(f.pending) > f.stats.MaxPending {
-		f.stats.MaxPending = len(f.pending)
-	}
-}
-
-// totalLive sums the shards' pending non-daemon events.
-func (f *Fabric) totalLive() int {
-	n := 0
-	for _, s := range f.shards {
-		n += s.eng.live
-	}
-	return n
-}
-
-// nextTime returns the earliest pending event or message anywhere.
-func (f *Fabric) nextTime() (float64, bool) {
-	t, ok := math.Inf(1), false
-	for _, s := range f.shards {
-		if pt, has := s.eng.PeekTime(); has && pt < t {
-			t, ok = pt, true
-		}
-	}
-	for i := range f.pending {
-		if f.pending[i].deliver < t {
-			t, ok = f.pending[i].deliver, true
-		}
-	}
-	return t, ok
-}
-
-// routeBefore moves every pending message with deliver < end into its
-// destination shard's inbox, in the deterministic total order
-// (deliverTime, srcShard, srcSeq). The destination's runner inserts its
-// inbox — in that order — before executing the window, so the engine's
-// event sequence numbers, and with them all same-instant tie-breaks,
-// are identical for every worker count. Routing is the only serial
-// message cost; the heap insertions happen on the shards, in parallel.
-func (f *Fabric) routeBefore(end float64) {
-	due := f.deliverBuf[:0]
-	rest := f.pending[:0]
-	for _, m := range f.pending {
-		if m.deliver < end {
-			due = append(due, m)
-		} else {
-			rest = append(rest, m)
-		}
-	}
-	// Clear the tail so retained closures don't leak.
-	for i := len(rest); i < len(f.pending); i++ {
-		f.pending[i] = fabricMsg{}
-	}
-	f.pending = rest
-	f.deliverBuf = due
-	if len(due) == 0 {
-		return
-	}
-	sortMsgs(due)
-	for i := range due {
-		m := &due[i]
-		dst := f.shards[m.dst]
-		dst.inbox = append(dst.inbox, *m)
-		if !m.daemon {
-			f.liveMsgs--
-		}
-		f.stats.Messages++
-		m.fn = nil
-	}
-}
-
-// sortMsgs orders messages by (deliver, src, seq) — insertion sort; the
-// per-window batch is small and usually nearly sorted.
-func sortMsgs(ms []fabricMsg) {
-	for i := 1; i < len(ms); i++ {
-		m := ms[i]
-		j := i - 1
-		for j >= 0 && msgAfter(ms[j], m) {
-			ms[j+1] = ms[j]
-			j--
-		}
-		ms[j+1] = m
-	}
-}
+// msgHeap is a binary min-heap of undelivered messages ordered by the
+// deterministic delivery order (deliver, src, seq). Popping messages in
+// heap order yields exactly the sequence a global sort would — the key
+// is a total order (seq is unique per source), so heap and sort agree —
+// which keeps routing independent of the order shards folded their
+// outboxes in.
+type msgHeap []fabricMsg
 
 func msgAfter(a, b fabricMsg) bool {
 	if a.deliver != b.deliver {
@@ -515,4 +556,98 @@ func msgAfter(a, b fabricMsg) bool {
 		return a.src > b.src
 	}
 	return a.seq > b.seq
+}
+
+func (f *Fabric) pushPending(m fabricMsg) {
+	h := append(f.pending, m)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !msgAfter(h[p], h[i]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	f.pending = h
+}
+
+// popPending removes and returns the earliest pending message, clearing
+// the vacated slot so the closure does not leak through the backing
+// array.
+func (f *Fabric) popPending() fabricMsg {
+	h := f.pending
+	m := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = fabricMsg{}
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && msgAfter(h[min], h[l]) {
+			min = l
+		}
+		if r < n && msgAfter(h[min], h[r]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	f.pending = h
+	return m
+}
+
+// nextAfter orders next-event cache entries by (time, shard); the
+// shard tie-break keeps heap behavior deterministic, though window
+// membership — a set — is what consumers read.
+func nextAfter(a, b nextEntry) bool {
+	if a.time != b.time {
+		return a.time > b.time
+	}
+	return a.shard > b.shard
+}
+
+func (f *Fabric) pushNext(e nextEntry) {
+	h := append(f.nextHeap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !nextAfter(h[p], h[i]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	f.nextHeap = h
+}
+
+func (f *Fabric) popNext() nextEntry {
+	h := f.nextHeap
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && nextAfter(h[min], h[l]) {
+			min = l
+		}
+		if r < n && nextAfter(h[min], h[r]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	f.nextHeap = h
+	return e
 }

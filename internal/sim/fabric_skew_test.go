@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// skewedRun exercises a heavily skewed population: shard 0 is a busy
+// coordinator churning through a dense event schedule and pinging a few
+// peers, while the vast majority of shards are idle except for daemon
+// housekeeping — the hollow-datanode shape. Returns a per-shard trace.
+func skewedRun(shards, workers int) [][]string {
+	f := NewFabric(shards, 0.05, FabricOptions{Workers: workers})
+	logs := make([][]string, shards)
+	coord := f.Shard(0)
+
+	// Dense self-rescheduling work on the coordinator.
+	var tick func()
+	n := 0
+	tick = func() {
+		logs[0] = append(logs[0], fmt.Sprintf("tick@%.3f", coord.Engine().Now()))
+		n++
+		if n%7 == 0 {
+			// Ping a couple of far-flung peers; they reply.
+			for _, p := range []int{shards / 3, shards - 2} {
+				p := p
+				coord.Post(p, 0.05, func() {
+					s := f.Shard(p)
+					logs[p] = append(logs[p], fmt.Sprintf("ping@%.3f", s.Engine().Now()))
+					s.Post(0, 0.05, func() {
+						logs[0] = append(logs[0], fmt.Sprintf("pong%d@%.3f", p, coord.Engine().Now()))
+					})
+				})
+			}
+		}
+		if n < 60 {
+			coord.Engine().Schedule(0.01, tick)
+		}
+	}
+	coord.Engine().Schedule(0, tick)
+
+	// A single sparse event in the far future on a high shard: the
+	// starvation case — it must still fire even though every window
+	// until then is driven by shard 0 alone.
+	sparse := shards - 1
+	f.Shard(sparse).Engine().Schedule(5.0, func() {
+		logs[sparse] = append(logs[sparse], fmt.Sprintf("sparse@%.3f", f.Shard(sparse).Engine().Now()))
+	})
+
+	// Daemon-only heartbeats on every other shard must not keep the
+	// fabric alive nor join windows needlessly.
+	for i := 1; i < shards-1; i++ {
+		s := f.Shard(i)
+		var beat func()
+		beat = func() {
+			s.Engine().ScheduleDaemon(1.0, beat)
+		}
+		s.Engine().ScheduleDaemon(1.0, beat)
+	}
+
+	f.Run()
+	return logs
+}
+
+// TestFabricSkewedStarvation pins that at 1000 shards a lone far-future
+// event on the highest shard is not starved by a chatty coordinator,
+// and that the run is bit-identical across worker counts.
+func TestFabricSkewedStarvation(t *testing.T) {
+	const shards = 1000
+	base := skewedRun(shards, 1)
+	last := base[shards-1]
+	if len(last) != 1 || last[0] != "sparse@5.000" {
+		t.Fatalf("sparse shard trace = %v, want the single far-future event", last)
+	}
+	if len(base[0]) == 0 {
+		t.Fatal("coordinator trace empty")
+	}
+	for _, workers := range []int{4, 8} {
+		got := skewedRun(shards, workers)
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d diverged from serial run", workers)
+		}
+	}
+}
+
+// TestFabricSkewedWindowCost pins the window-accounting complexity: the
+// per-window work must not scan all shards, so the executed window
+// count for the same coordinator schedule should be independent of how
+// many idle shards surround it — and the whole run at 1000 shards must
+// stay cheap enough that this test is instant.
+func TestFabricSkewedWindowCost(t *testing.T) {
+	statsFor := func(shards int) FabricStats {
+		f := NewFabric(shards, 0.05, FabricOptions{Workers: 1})
+		s0 := f.Shard(0)
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 100 {
+				s0.Engine().Schedule(0.01, tick)
+			}
+		}
+		s0.Engine().Schedule(0, tick)
+		f.Run()
+		return f.Stats()
+	}
+	small, big := statsFor(4), statsFor(1000)
+	if small.Windows != big.Windows {
+		t.Fatalf("window count depends on idle shard population: 4 shards → %d, 1000 shards → %d",
+			small.Windows, big.Windows)
+	}
+}
+
+// BenchmarkFabricSkewed measures the coordinator-plus-hollow-peers
+// shape: 1000 shards, work on shard 0 only, occasional cross-shard
+// messages. Before the lazy next-event heap this was O(shards) per
+// window; now each window touches only the shards with work due.
+func BenchmarkFabricSkewed(b *testing.B) {
+	for _, shards := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := NewFabric(shards, 0.05, FabricOptions{Workers: 1})
+				s0 := f.Shard(0)
+				n := 0
+				var tick func()
+				tick = func() {
+					n++
+					if n%10 == 0 {
+						p := 1 + n%(shards-1)
+						s0.Post(p, 0.05, func() {})
+					}
+					if n < 1000 {
+						s0.Engine().Schedule(0.01, tick)
+					}
+				}
+				s0.Engine().Schedule(0, tick)
+				f.Run()
+			}
+		})
+	}
+}
