@@ -138,6 +138,50 @@ func parseScaleSpec(s string) (experiments.ScaleSpec, error) {
 	return spec, nil
 }
 
+// federationSpecFlag parameterizes the "federation" experiment: the
+// federated population shape as nodes=<n>,tenants=<n>,partitions=<n>
+// [,apps=<n>][,shards=<n>][,seed=<n>][,horizon=<s>].
+var federationSpecFlag = flag.String("federation-spec", "",
+	"federated broker population nodes=,tenants=,partitions=[,apps=][,shards=][,seed=][,horizon=] (empty = 200 nodes, 1000 tenants, 4 partitions)")
+
+// parseFederationSpec turns the flag into a spec; the empty string
+// keeps the CI-sized default shape.
+func parseFederationSpec(s string) (experiments.FederationSpec, error) {
+	spec := experiments.DefaultFederationSpec()
+	if s == "" {
+		return spec, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("federation-spec: malformed field %q (want k=v)", kv)
+		}
+		var err error
+		switch k {
+		case "nodes":
+			_, err = fmt.Sscanf(v, "%d", &spec.Nodes)
+		case "tenants":
+			_, err = fmt.Sscanf(v, "%d", &spec.Tenants)
+		case "apps":
+			_, err = fmt.Sscanf(v, "%d", &spec.Apps)
+		case "partitions":
+			_, err = fmt.Sscanf(v, "%d", &spec.Partitions)
+		case "shards":
+			_, err = fmt.Sscanf(v, "%d", &spec.Shards)
+		case "seed":
+			_, err = fmt.Sscanf(v, "%d", &spec.Seed)
+		case "horizon":
+			_, err = fmt.Sscanf(v, "%g", &spec.Horizon)
+		default:
+			return spec, fmt.Errorf("federation-spec: unknown field %q", k)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("federation-spec: bad value %q for %s", v, k)
+		}
+	}
+	return spec, nil
+}
+
 // Fault-injection flags, consumed by the "fault-custom" experiment.
 var (
 	faultSeed     = flag.Int64("fault-seed", 1, "seed driving generated fault schedules and message-fault rolls")
@@ -328,6 +372,15 @@ var extras = []namedExp{
 			return nil, err
 		}
 		return experiments.ScaleBench(spec)
+	}},
+	// Federation: partitioned coordination with delta-compressed
+	// hierarchical aggregation, parameterized by -federation-spec.
+	{"federation", func(float64) (fmt.Stringer, error) {
+		spec, err := parseFederationSpec(*federationSpecFlag)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.FederationBench(spec)
 	}},
 	// Runtime control plane: live mid-run reweighting through the
 	// share tree, parameterized by -reweight.

@@ -83,6 +83,14 @@ type Options struct {
 	// used to size the staleness allowance of the cluster-level share
 	// check (default 1, matching the paper's heartbeat piggyback).
 	CoordinationPeriod float64
+	// FederationStaleness is the extra staleness (seconds) a federated
+	// coordination plane adds on top of the exchange period: service on
+	// another partition is visible only after that partition's uplink
+	// and this partition's downlink, so the cluster wires two
+	// aggregation periods plus slack here. Non-zero switches the
+	// cluster-level share check into the share-federated regime: same
+	// invariant, wider — and still CI-enforced — staleness term.
+	FederationStaleness float64
 	// RecoveryPeriods is K: how many coordination periods after a
 	// degraded scheduler recovers the cluster-level share bound is
 	// still relaxed before it must re-tighten (default 5).
@@ -301,6 +309,30 @@ func (a *Auditor) skipWindow(ws, we float64) bool {
 func (a *Auditor) AttachBroker(b *broker.Broker) {
 	a.brokers = append(a.brokers, b)
 	b.SetProbe(func(string, *broker.Broker) { a.checkBroker(b) })
+}
+
+// AttachBrokerDeferred audits b's conservation only at Finish. For
+// partition brokers: their exchanges run on partition shards inside
+// parallel fabric windows, where a live probe would mutate the auditor
+// concurrently with the coordinator-shard probes.
+func (a *Auditor) AttachBrokerDeferred(b *broker.Broker) {
+	a.brokers = append(a.brokers, b)
+}
+
+// AttachAggregator audits the federation root on every applied uplink:
+// the per-partition mirrors must sum to the global per-app quanta and
+// their tenant regrouping must match the global tenant quanta — exact
+// int64 equalities, no tolerance (invariant federation-conservation).
+func (a *Auditor) AttachAggregator(ag *broker.Aggregator) {
+	ag.SetProbe(func() {
+		a.count("federation-conservation")
+		if err := ag.CheckConservation(); err != nil {
+			a.violate(Violation{
+				Time: a.lastTime, Invariant: "federation-conservation", Node: -1,
+				Detail: err.Error(),
+			})
+		}
+	})
 }
 
 // Finish closes the open audit windows and re-checks broker
@@ -899,22 +931,29 @@ func (c *clusterState) closeWindow() {
 			c.a.count("share-skipped-epoch")
 		}
 	}
+	// Staleness allowance: up to one coordination period of each flow's
+	// cluster-wide service rate may be unreported on both the rising
+	// and falling edge of the window — plus, under a federated plane,
+	// the hierarchy's aggregation lag (FederationStaleness), which also
+	// renames the invariant to the share-federated regime.
+	lag := c.a.opts.CoordinationPeriod + c.a.opts.FederationStaleness
+	totalInv := "total-proportional-share"
+	if c.a.opts.FederationStaleness > 0 {
+		totalInv = "share-federated"
+	}
 	for i := 0; i < len(apps) && !skipped; i++ {
 		for j := i + 1; j < len(apps); j++ {
 			if !intersects(sets[apps[i]], sets[apps[j]]) {
 				continue
 			}
 			fi, fj := c.flows[apps[i]], c.flows[apps[j]]
-			c.a.count("total-proportional-share")
+			c.a.count(totalInv)
 			ri, rj := fi.service/fi.weight, fj.service/fj.weight
-			// Staleness: up to one coordination period of each flow's
-			// cluster-wide service rate may be unreported on both the
-			// rising and falling edge of the window.
-			stale := 2 * c.a.opts.CoordinationPeriod * (ri + rj) / w
+			stale := 2 * lag * (ri + rj) / w
 			bound := float64(d+1)*(fi.maxUnit+fj.maxUnit)*float64(c.members+1)*(1+c.a.opts.ShareSlack) + stale
 			if diff := math.Abs(ri - rj); diff > bound {
 				c.a.violate(Violation{
-					Time: end, Invariant: "total-proportional-share",
+					Time: end, Invariant: totalInv,
 					Node: -1, App: apps[i],
 					Detail: fmt.Sprintf("window [%.1fs,%.1fs): total normalized service %s=%.4g vs %s=%.4g, |diff| %.4g > bound %.4g (D=%d)",
 						c.windowStart, end, apps[i], ri, apps[j], rj, diff, bound, d),
@@ -954,7 +993,7 @@ func (c *clusterState) closeWindow() {
 				}
 				c.a.count("total-tenant-proportional-share")
 				ri, rj := ti.service/ti.weight, tj.service/tj.weight
-				stale := 2 * c.a.opts.CoordinationPeriod * (ri + rj) / w
+				stale := 2 * lag * (ri + rj) / w
 				bound := float64(d+1)*(ti.maxUnit+tj.maxUnit)*float64(c.members+1)*(1+c.a.opts.ShareSlack) + stale
 				if diff := math.Abs(ri - rj); diff > bound {
 					c.a.violate(Violation{

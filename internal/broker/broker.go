@@ -78,9 +78,13 @@ type Broker struct {
 	// had at retirement. They keep the service observable (Total)
 	// after cleanup without participating in exchanges.
 	finals map[iosched.AppID]float64
-	shares ShareView
-	stats  Stats
-	probe  Probe
+	// retireSnaps hold, per retired app, the per-scheduler entries
+	// Retire scrubbed, so Revive can restore exact continuity instead
+	// of rebuilding the total piecemeal from future exchanges.
+	retireSnaps map[iosched.AppID]map[string]float64
+	shares      ShareView
+	stats       Stats
+	probe       Probe
 }
 
 // ShareView is the slice of the share tree the coordination plane
@@ -141,11 +145,24 @@ func (b *Broker) SetProbe(p Probe) { b.probe = p }
 // New creates an empty broker.
 func New() *Broker {
 	return &Broker{
-		reports: make(map[string]map[iosched.AppID]float64),
-		totals:  make(map[iosched.AppID]float64),
-		retired: make(map[iosched.AppID]bool),
-		finals:  make(map[iosched.AppID]float64),
+		reports:     make(map[string]map[iosched.AppID]float64),
+		totals:      make(map[iosched.AppID]float64),
+		retired:     make(map[iosched.AppID]bool),
+		finals:      make(map[iosched.AppID]float64),
+		retireSnaps: make(map[iosched.AppID]map[string]float64),
 	}
+}
+
+// ResetReports models the broker process restarting with empty memory:
+// every report vector and every live total is dropped, and the next
+// exchanges rebuild them — each scheduler's full cumulative vector
+// applies as a fresh delta from zero, so totals reconverge without
+// double counting. Retirement state (flags, tombstones) survives: it
+// is control-plane membership knowledge, not broker memory.
+func (b *Broker) ResetReports() {
+	b.reports = make(map[string]map[iosched.AppID]float64)
+	b.totals = make(map[iosched.AppID]float64)
+	b.retireSnaps = make(map[iosched.AppID]map[string]float64)
 }
 
 // Exchange is one coordination round trip for the named scheduler: it
@@ -244,17 +261,60 @@ func (b *Broker) Retire(app iosched.AppID) {
 	}
 	b.retired[app] = true
 	b.finals[app] = b.totals[app]
-	for _, vec := range b.reports {
-		delete(vec, app)
+	var snap map[string]float64
+	for sched, vec := range b.reports {
+		if cum, ok := vec[app]; ok {
+			if snap == nil {
+				snap = make(map[string]float64)
+			}
+			snap[sched] = cum
+			delete(vec, app)
+		}
+	}
+	if snap != nil {
+		b.retireSnaps[app] = snap
 	}
 	delete(b.totals, app)
 }
 
 // Revive reverses Retire for an application that starts doing I/O again
 // (e.g. a later stage of a multi-stage query reusing the app id). The
-// next exchanges re-add each scheduler's full cumulative service — the
-// idempotent protocol restores a consistent total.
-func (b *Broker) Revive(app iosched.AppID) { delete(b.retired, app) }
+// per-scheduler entries Retire scrubbed are re-snapshotted into the
+// report vectors — for schedulers still registered — and the total is
+// rebuilt from them, so the app resumes with exact continuity: the
+// next exchange applies only the true delta accrued since retirement.
+// Without the snapshot the total would rebuild piecemeal (partial
+// until every scheduler re-reported) and, if the backing reports
+// unregistered first, pruneUnbacked would drop the rebuilt value and
+// Total would surface the stale tombstone.
+func (b *Broker) Revive(app iosched.AppID) {
+	if !b.retired[app] {
+		return
+	}
+	delete(b.retired, app)
+	total := 0.0
+	if snap := b.retireSnaps[app]; snap != nil {
+		// Restore in sorted-scheduler order for deterministic rounding;
+		// entries whose scheduler unregistered during retirement stay
+		// dropped — Unregister would have subtracted them anyway.
+		scheds := make([]string, 0, len(snap))
+		for sched := range snap {
+			if _, ok := b.reports[sched]; ok {
+				scheds = append(scheds, sched)
+			}
+		}
+		sort.Strings(scheds)
+		for _, sched := range scheds {
+			b.reports[sched][app] = snap[sched]
+			total += snap[sched]
+		}
+		delete(b.retireSnaps, app)
+	}
+	if total > 0 {
+		b.totals[app] = total
+	}
+	delete(b.finals, app)
+}
 
 // Retired reports whether the app is currently retired.
 func (b *Broker) Retired(app iosched.AppID) bool { return b.retired[app] }

@@ -111,6 +111,10 @@ type Config struct {
 	// CoordinationPeriod is the broker exchange period in seconds
 	// (default 1, piggybacked on heartbeats in the prototype).
 	CoordinationPeriod float64
+	// Federation splits the broker plane into partition brokers under a
+	// root aggregator (sharded assembly only). The zero value keeps the
+	// centralized broker.
+	Federation Federation
 	// Faults, when non-nil, injects the compiled fault schedule into
 	// the coordination plane: exchanges flow through a faulty
 	// transport, scheduler restarts and device-degradation windows are
@@ -164,6 +168,9 @@ func (c *Config) defaults() {
 	}
 	if c.NetworkDepth <= 0 {
 		c.NetworkDepth = 128
+	}
+	if c.Coordinate && c.Federation.Enabled() {
+		c.Federation.defaults(c.CoordinationPeriod)
 	}
 }
 
@@ -232,6 +239,7 @@ type Cluster struct {
 	shares *shares.Tree
 
 	fabric    *sim.Fabric // nil in single-engine mode
+	fed       *fedPlane   // nil when the broker plane is centralized
 	transport broker.Transport
 	clients   []ClientRef
 	byID      map[string]*broker.Client
@@ -303,16 +311,22 @@ func assemble(eng *sim.Engine, fab *sim.Fabric, cfg Config) (*Cluster, error) {
 		engByID:   make(map[string]*sim.Engine),
 	}
 	if cfg.Coordinate {
-		c.Broker = broker.New()
-		c.Broker.SetShares(c.shares)
-		switch {
-		case fab != nil:
-			// Sharded: each client gets its own async transport bound
-			// to its node's shard (built in attach); no shared one.
-		case cfg.Faults != nil:
-			c.transport = faults.NewTransport(eng, cfg.Faults, c.Broker)
-		default:
-			c.transport = broker.NewDirectTransport(c.Broker)
+		if cfg.Federation.Enabled() {
+			if err := c.buildFederation(fab, cfg); err != nil {
+				return nil, err
+			}
+		} else {
+			c.Broker = broker.New()
+			c.Broker.SetShares(c.shares)
+			switch {
+			case fab != nil:
+				// Sharded: each client gets its own async transport bound
+				// to its node's shard (built in attach); no shared one.
+			case cfg.Faults != nil:
+				c.transport = faults.NewTransport(eng, cfg.Faults, c.Broker)
+			default:
+				c.transport = broker.NewDirectTransport(c.Broker)
+			}
 		}
 	}
 	for i := 0; i < cfg.Nodes; i++ {
@@ -352,7 +366,7 @@ func assemble(eng *sim.Engine, fab *sim.Fabric, cfg Config) (*Cluster, error) {
 			}
 		}
 
-		if c.Broker != nil {
+		if c.Broker != nil || c.fed != nil {
 			c.attach(n, nodeEng, "hdfs", n.HDFSSched, fmt.Sprintf("node%d-hdfs", i))
 			if !cfg.Hollow {
 				c.attach(n, nodeEng, "local", n.LocalSched, fmt.Sprintf("node%d-local", i))
@@ -452,7 +466,12 @@ func (c *Cluster) attach(n *Node, eng *sim.Engine, dev string, s iosched.Schedul
 	}
 	tr := c.transport
 	if n.shard != nil {
-		tr = &shardedTransport{b: c.Broker, inj: c.cfg.Faults, shard: n.shard, coord: n.coord}
+		if c.fed != nil {
+			p := c.fed.partOf(n.Index, c.cfg.Nodes)
+			tr = &fedTransport{part: c.fed.parts[p], inj: c.cfg.Faults, shard: n.shard, pshard: c.fed.shards[p]}
+		} else {
+			tr = &shardedTransport{b: c.Broker, inj: c.cfg.Faults, shard: n.shard, coord: n.coord}
+		}
 	}
 	client := broker.NewClientWithOptions(eng, id, sfq.Accounting(), broker.ClientOptions{
 		Transport: tr,
@@ -488,6 +507,10 @@ func (c *Cluster) DetachNode(i int) {
 // so a long-lived AppID cannot haunt future jobs with stale service.
 // No-op without coordination.
 func (c *Cluster) RetireApp(app iosched.AppID) {
+	if c.fed != nil {
+		c.fedEachPartition(func(p *broker.Partition) { p.Broker().Retire(app) })
+		return
+	}
 	if c.Broker != nil {
 		c.Broker.Retire(app)
 	}
@@ -496,8 +519,23 @@ func (c *Cluster) RetireApp(app iosched.AppID) {
 // ReviveApp undoes RetireApp for a reused AppID (e.g. consecutive Hive
 // stages). No-op without coordination.
 func (c *Cluster) ReviveApp(app iosched.AppID) {
+	if c.fed != nil {
+		c.fedEachPartition(func(p *broker.Partition) { p.Broker().Revive(app) })
+		return
+	}
 	if c.Broker != nil {
 		c.Broker.Revive(app)
+	}
+}
+
+// fedEachPartition runs fn against every partition broker on its own
+// shard (one daemon hop from the coordinator, whose context retire and
+// revive are called from). The next uplink of each partition carries
+// the resulting state change to the root as explicit-zero deltas.
+func (c *Cluster) fedEachPartition(fn func(*broker.Partition)) {
+	for i, part := range c.fed.parts {
+		part := part
+		c.fed.rootShard.PostDaemon(c.fed.shards[i].ID(), 0, func() { fn(part) })
 	}
 }
 

@@ -53,7 +53,11 @@ func NewSharded(cfg Config, lookahead float64, fo sim.FabricOptions) (*Cluster, 
 	if lookahead <= 0 {
 		lookahead = DefaultLookahead
 	}
-	f := sim.NewFabric(cfg.Nodes+1, lookahead, fo)
+	extra := 0
+	if cfg.Coordinate && cfg.Federation.Enabled() {
+		extra = cfg.Federation.Partitions
+	}
+	f := sim.NewFabric(cfg.Nodes+1+extra, lookahead, fo)
 	return assemble(f.Shard(0).Engine(), f, cfg)
 }
 

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ibis/internal/metrics"
+	"ibis/internal/scale"
+)
+
+// FederationSpec parameterizes the federated-broker experiment: the
+// hollow population shape, how many partition brokers split it, and
+// the worker counts to pin determinism across.
+type FederationSpec struct {
+	Nodes   int
+	Tenants int
+	// Apps is the per-tenant application count.
+	Apps int
+	// Partitions is the partition-broker count (must be >= 2 to
+	// federate; 1 would be the centralized broker).
+	Partitions int
+	// Shards is the parallel worker count of the second leg (the first
+	// leg always runs serial; equal digests pin determinism).
+	Shards  int
+	Seed    uint64
+	Horizon float64
+}
+
+// DefaultFederationSpec is a CI-sized federated run: two hundred nodes
+// split across four partition brokers.
+func DefaultFederationSpec() FederationSpec {
+	return FederationSpec{
+		Nodes:      200,
+		Tenants:    1000,
+		Apps:       1,
+		Partitions: 4,
+		Shards:     4,
+		Seed:       1,
+		Horizon:    10,
+	}
+}
+
+func (s FederationSpec) config(workers int) scale.Config {
+	return scale.Config{
+		Nodes:            s.Nodes,
+		Tenants:          s.Tenants,
+		AppsPerTenant:    s.Apps,
+		Replicas:         3,
+		Seed:             s.Seed,
+		Horizon:          s.Horizon,
+		Workers:          workers,
+		Coordinate:       true,
+		Partitions:       s.Partitions,
+		Audit:            true,
+		AuditSampleEvery: max(1, s.Nodes/16),
+	}
+}
+
+// FederationRow is one leg of the federation experiment.
+type FederationRow struct {
+	Workers int
+	Stats   metrics.ScaleStats
+	Checks  map[string]uint64
+}
+
+// FederationResult reports the federated-broker experiment: the same
+// population coordinated through partition brokers at each worker
+// count, with the deterministic surface (traffic, fairness, federation
+// byte counters, digest) on stdout and the host-dependent envelope on
+// StderrNote. Compression is federation bytes on the wire vs the
+// centralized-equivalent client traffic the partition brokers carried.
+type FederationResult struct {
+	Spec  FederationSpec
+	Rows  []FederationRow
+	Match bool // all digests identical across worker counts
+}
+
+func (r *FederationResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "federation: %d partition brokers over %d nodes\n",
+		r.Spec.Partitions, r.Spec.Nodes)
+	st := r.Rows[0].Stats
+	b.WriteString(st.Deterministic())
+	fmt.Fprintf(&b, "compression=%.1fx\n", st.FedCompression())
+	checks := r.Rows[0].Checks
+	fmt.Fprintf(&b, "audit: share-federated=%d federation-conservation=%d\n",
+		checks["share-federated"], checks["federation-conservation"])
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "workers=%d digest=%016x\n", row.Workers, row.Stats.Digest)
+	}
+	fmt.Fprintf(&b, "deterministic-across-workers=%v\n", r.Match)
+	return b.String()
+}
+
+// StderrNote reports the wall-clock envelope, which varies by host and
+// must stay off the deterministic stdout surface.
+func (r *FederationResult) StderrNote() string {
+	var b strings.Builder
+	for i, row := range r.Rows {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		st := row.Stats
+		fmt.Fprintf(&b, "workers=%d events/sec=%.0f wall=%.1fs peak-heap=%.0fMB",
+			row.Workers, st.EventsPerSec, st.WallSeconds, float64(st.PeakHeapBytes)/1e6)
+	}
+	return b.String()
+}
+
+// FederationBench runs the federated-broker experiment described by
+// spec: audit-clean under the share-federated regime, bit-identical
+// digests across worker counts, and the federation plane's byte
+// counters for the O(delta) compression claim.
+func FederationBench(spec FederationSpec) (*FederationResult, error) {
+	if spec.Nodes <= 0 || spec.Tenants <= 0 {
+		return nil, fmt.Errorf("federation: nodes and tenants must be positive")
+	}
+	if spec.Partitions < 2 {
+		return nil, fmt.Errorf("federation: need >= 2 partitions (1 is the centralized broker)")
+	}
+	workers := []int{1}
+	if spec.Shards > 1 {
+		workers = append(workers, spec.Shards)
+	}
+	res := &FederationResult{Spec: spec, Match: true}
+	for _, w := range workers {
+		rep, err := scale.Run(spec.config(w))
+		if err != nil {
+			return nil, err
+		}
+		if rep.AuditErr != nil {
+			return nil, fmt.Errorf("federation: workers=%d audit: %w", w, rep.AuditErr)
+		}
+		if rep.Stats.Partitions != spec.Partitions {
+			return nil, fmt.Errorf("federation: workers=%d ran %d partitions, want %d",
+				w, rep.Stats.Partitions, spec.Partitions)
+		}
+		res.Rows = append(res.Rows, FederationRow{Workers: w, Stats: rep.Stats, Checks: rep.AuditChecks})
+		if rep.Stats.Digest != res.Rows[0].Stats.Digest {
+			res.Match = false
+		}
+	}
+	if !res.Match {
+		return nil, fmt.Errorf("federation: digests diverged across worker counts")
+	}
+	return res, nil
+}

@@ -79,6 +79,16 @@ type Spec struct {
 	DegradeMeanDur float64  // default 5 s
 	DegradeTargets []string // required when DegradeCount > 0
 	DegradeFactor  float64  // default 0.25
+
+	// LeaderOutages kill individual partition-broker leaders in the
+	// federated coordination plane, keyed by partition index: while a
+	// window is open that partition's client exchanges fail with
+	// ErrUnavailable and its root syncs stop; recovery is a crash
+	// recovery (snapshot resync). Ignored by centralized topologies.
+	LeaderOutages       map[int][]Window
+	LeaderOutageCount   int
+	LeaderOutageMeanDur float64 // default 5 s
+	LeaderTargets       []int   // required when LeaderOutageCount > 0
 }
 
 // RestartEvent is one scheduled scheduler restart.
@@ -102,6 +112,7 @@ type Injector struct {
 	partitions map[string][]Window
 	restarts   []RestartEvent
 	degrades   []DegradeWindow
+	leaders    map[int][]Window
 
 	dropProb, respDropProb, delayProb float64
 	delayMin, delayMax                float64
@@ -224,6 +235,30 @@ func New(spec Spec) *Injector {
 		}
 		return inj.degrades[i].Device < inj.degrades[j].Device
 	})
+
+	inj.leaders = make(map[int][]Window)
+	leaderIdxs := make([]int, 0, len(spec.LeaderOutages))
+	for p := range spec.LeaderOutages {
+		leaderIdxs = append(leaderIdxs, p)
+	}
+	sort.Ints(leaderIdxs)
+	for _, p := range leaderIdxs {
+		inj.leaders[p] = normalize(append([]Window(nil), spec.LeaderOutages[p]...))
+	}
+	if spec.LeaderOutageCount > 0 && len(spec.LeaderTargets) > 0 {
+		targets := append([]int(nil), spec.LeaderTargets...)
+		sort.Ints(targets)
+		meanDur := meanOr(spec.LeaderOutageMeanDur, 5)
+		for i := 0; i < spec.LeaderOutageCount; i++ {
+			p := targets[i%len(targets)]
+			start := rng.Float64() * horizon
+			dur := meanDur * (0.5 + rng.Float64())
+			inj.leaders[p] = append(inj.leaders[p], Window{Start: start, End: start + dur})
+		}
+		for p := range inj.leaders {
+			inj.leaders[p] = normalize(inj.leaders[p])
+		}
+	}
 	return inj
 }
 
@@ -275,6 +310,18 @@ func inWindows(ws []Window, t float64) bool {
 		}
 	}
 	return false
+}
+
+// LeaderDown reports whether partition p's broker leader is dead at
+// time t (a full broker outage takes every leader down too).
+func (inj *Injector) LeaderDown(p int, t float64) bool {
+	return inj.BrokerDown(t) || inWindows(inj.leaders[p], t)
+}
+
+// LeaderOutagesFor returns the compiled outage windows of partition
+// p's leader.
+func (inj *Injector) LeaderOutagesFor(p int) []Window {
+	return append([]Window(nil), inj.leaders[p]...)
 }
 
 // Outages returns the compiled broker outage windows (sorted, merged).

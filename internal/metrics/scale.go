@@ -77,6 +77,19 @@ type ScaleStats struct {
 	// mean bit-identical runs.
 	Digest uint64
 
+	// Federation plane (all zero when the broker is centralized). The
+	// sync counts and wire bytes are deterministic — encoding and sync
+	// cadence are pure functions of the virtual timeline. BaselineBytes
+	// is what a centralized full-vector broker would have shipped for
+	// the same client exchange traffic; FedUpBytes+FedDownBytes against
+	// it is the delta-compression ratio the federation gate enforces.
+	Partitions    int
+	FedSyncs      uint64
+	FedSnapshots  uint64
+	FedUpBytes    uint64
+	FedDownBytes  uint64
+	BaselineBytes uint64
+
 	// Host-dependent envelope.
 	Events        uint64
 	WallSeconds   float64
@@ -94,7 +107,21 @@ func (s ScaleStats) Deterministic() string {
 	fmt.Fprintf(&b, "submitted=%d completed=%d bytes=%.0f\n", s.Submitted, s.Completed, s.BytesServed)
 	fmt.Fprintf(&b, "peak-in-flight=%d fairness-max-ratio=%.4f\n", s.PeakInFlight, s.FairnessMaxRatio)
 	fmt.Fprintf(&b, "digest=%016x\n", s.Digest)
+	if s.Partitions > 0 {
+		fmt.Fprintf(&b, "partitions=%d fed-syncs=%d fed-snapshots=%d fed-bytes=%d baseline-bytes=%d\n",
+			s.Partitions, s.FedSyncs, s.FedSnapshots, s.FedUpBytes+s.FedDownBytes, s.BaselineBytes)
+	}
 	return b.String()
+}
+
+// FedCompression returns the baseline-to-federation wire-volume ratio
+// (0 when centralized or nothing was shipped).
+func (s ScaleStats) FedCompression() float64 {
+	fed := s.FedUpBytes + s.FedDownBytes
+	if s.Partitions == 0 || fed == 0 {
+		return 0
+	}
+	return float64(s.BaselineBytes) / float64(fed)
 }
 
 // Envelope formats the host-dependent throughput and memory numbers.

@@ -67,6 +67,14 @@ type Config struct {
 	// CoordinationPeriod is its exchange period.
 	Coordinate         bool
 	CoordinationPeriod float64
+	// Partitions > 1 federates the broker plane: that many partition
+	// brokers on their own shards under a root aggregator, syncing
+	// delta-compressed quanta every AggregationPeriod (≤ 0 takes the
+	// coordination period). StalenessK bounds tolerated root-view age as
+	// in cluster.Federation. Requires Coordinate.
+	Partitions        int
+	AggregationPeriod float64
+	StalenessK        int
 	// Faults, when non-nil, injects the fault schedule into the
 	// coordination plane (the chaos configurations).
 	Faults *faults.Injector
@@ -117,6 +125,12 @@ func (c *Config) defaults() {
 	if c.Depth <= 0 {
 		c.Depth = 4
 	}
+	// Coordination requires SFQ schedulers: Native (the zero value)
+	// builds FIFOs, which cannot attach broker clients, silently turning
+	// a coordinated run into an uncoordinated one.
+	if c.Coordinate && c.Policy == cluster.Native {
+		c.Policy = cluster.SFQD
+	}
 	if c.CoordinationPeriod <= 0 {
 		c.CoordinationPeriod = 1
 	}
@@ -150,6 +164,9 @@ type Report struct {
 	// audit is off).
 	AuditErr   error
 	Violations int
+	// AuditChecks counts evaluated invariant checks by name (nil when
+	// the audit is off) — gates assert the intended regime actually ran.
+	AuditChecks map[string]uint64
 }
 
 // resident is one app's open-loop arrival state on one node.
@@ -228,6 +245,15 @@ func Run(cfg Config) (*Report, error) {
 	if err := pop.Bind(tree); err != nil {
 		return nil, fmt.Errorf("scale: binding population: %w", err)
 	}
+	aggPeriod := cfg.AggregationPeriod
+	if aggPeriod <= 0 {
+		aggPeriod = cfg.CoordinationPeriod
+	}
+	fed := cluster.Federation{
+		Partitions:        cfg.Partitions,
+		AggregationPeriod: aggPeriod,
+		StalenessK:        cfg.StalenessK,
+	}
 	cl, err := cluster.NewHollowSharded(cluster.Config{
 		Nodes:              cfg.Nodes,
 		HDFSDisk:           HollowSpec(cfg.NodeBandwidth),
@@ -235,6 +261,7 @@ func Run(cfg Config) (*Report, error) {
 		SFQDepth:           cfg.Depth,
 		Coordinate:         cfg.Coordinate,
 		CoordinationPeriod: cfg.CoordinationPeriod,
+		Federation:         fed,
 		Faults:             cfg.Faults,
 		Shares:             tree,
 	}, cfg.Lookahead, sim.FabricOptions{Workers: cfg.Workers})
@@ -270,10 +297,22 @@ func Run(cfg Config) (*Report, error) {
 	var auditor *audit.Auditor
 	var deferred *audit.Deferred
 	if cfg.Audit {
-		auditor = audit.New(audit.Options{CoordinationPeriod: cfg.CoordinationPeriod})
+		auditor = audit.New(audit.Options{
+			CoordinationPeriod:  cfg.CoordinationPeriod,
+			FederationStaleness: fed.Staleness(),
+		})
 		deferred = audit.NewDeferred(auditor, cfg.Nodes+1)
 		if cl.Broker != nil {
 			auditor.AttachBroker(cl.Broker)
+		}
+		if root := cl.FederationRoot(); root != nil {
+			// The root lives on the coordinator shard, so its probe is
+			// single-owner; partition brokers run inside parallel windows
+			// and are conservation-checked only at Finish.
+			auditor.AttachAggregator(root)
+			for _, p := range cl.Partitions() {
+				auditor.AttachBrokerDeferred(p.Broker())
+			}
 		}
 		cl.Instrument(func(node int, dev string, sched iosched.Scheduler) iosched.Probe {
 			if node%cfg.AuditSampleEvery != 0 {
@@ -434,6 +473,15 @@ func Run(cfg Config) (*Report, error) {
 	}
 	st.FairnessMaxRatio = worstRatio
 	st.Digest = digest
+	if parts := cl.Partitions(); len(parts) > 0 {
+		fs := cl.FederationStats()
+		st.Partitions = len(parts)
+		st.FedSyncs = fs.Syncs
+		st.FedSnapshots = fs.Snapshots
+		st.FedUpBytes = fs.UpBytes
+		st.FedDownBytes = fs.DownBytes
+		st.BaselineBytes = cl.CentralizedBaselineBytes()
+	}
 	st.Events = cl.Fabric().Fired()
 	st.WallSeconds = wall
 	if wall > 0 {
@@ -448,6 +496,7 @@ func Run(cfg Config) (*Report, error) {
 	if auditor != nil {
 		rep.Violations = len(auditor.Violations())
 		rep.AuditErr = auditor.Err()
+		rep.AuditChecks = auditor.Checks()
 	}
 	if st.Completed != st.Submitted {
 		return rep, fmt.Errorf("scale: %d of %d requests never completed", st.Submitted-st.Completed, st.Submitted)
