@@ -231,7 +231,7 @@ func BenchmarkTable3_LinesOfCode(b *testing.B) {
 // shard's event share; on a single core it documents the dispatch
 // overhead instead.
 func BenchmarkShardsFig03HDD(b *testing.B) {
-	for _, w := range []int{1, 8} {
+	for _, w := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				row, err := experiments.ShardsOnce(benchScale, w)
@@ -245,6 +245,10 @@ func BenchmarkShardsFig03HDD(b *testing.B) {
 				b.ReportMetric(float64(row.Windows), "windows")
 				b.ReportMetric(float64(row.ParWindows), "parallel-windows")
 				b.ReportMetric(float64(row.Messages), "cross-shard-msgs")
+				// The measured serial term: the Amdahl ceiling is
+				// 1/coord-event-frac if the coordinator were the only
+				// serial section.
+				b.ReportMetric(row.ShardLoad.CoordEventFraction(), "coord-event-frac")
 			}
 		})
 	}

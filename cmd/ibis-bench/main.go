@@ -299,6 +299,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "%s: %s\n", r.Name, note)
 			}
 		}
+		// A self-gating experiment (the shards determinism pin) fails
+		// the whole run even though it produced printable output.
+		if g, ok := r.Output.(interface{ GateErr() error }); ok {
+			if gerr := g.GateErr(); gerr != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, gerr)
+				failed = true
+			}
+		}
 		fmt.Printf("=== %s ===\n%s\n", r.Name, r.Output)
 		return nil
 	})

@@ -133,6 +133,12 @@ type Config struct {
 	// singleton tenants reproduce flat per-app weights exactly.
 	Shares *shares.Tree
 
+	// MetaShards is the number of dedicated metadata shards hosting the
+	// partitioned namenode's placement draws (sharded assembly only).
+	// 0 defaults to DefaultMetaShards for full nodes and none for
+	// hollow nodes; negative disables the metadata plane explicitly.
+	MetaShards int
+
 	// Hollow strips each datanode to the scale-harness minimum: one
 	// HDFS device with its interposed scheduler and (with Coordinate)
 	// its broker client. No local device, no NICs, no network
@@ -238,8 +244,9 @@ type Cluster struct {
 	cfg    Config
 	shares *shares.Tree
 
-	fabric    *sim.Fabric // nil in single-engine mode
-	fed       *fedPlane   // nil when the broker plane is centralized
+	fabric    *sim.Fabric  // nil in single-engine mode
+	meta      []*sim.Shard // dedicated metadata shards (sharded mode)
+	fed       *fedPlane    // nil when the broker plane is centralized
 	transport broker.Transport
 	clients   []ClientRef
 	byID      map[string]*broker.Client

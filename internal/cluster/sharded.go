@@ -2,16 +2,22 @@
 // coordinator shard, advancing concurrently under the fabric's
 // conservative synchronization.
 //
-// Partitioning. Shard 0 (the coordinator) owns everything that is
-// cluster-global: the MapReduce runtime and fair scheduler, the
-// namenode, the broker, and the share tree's clock. Shard 1+i owns
-// datanode i: its two storage devices, its NIC processor-sharing
-// resources, its interposed I/O schedulers, and its coordination
-// clients. Every cross-shard interaction — submitting an I/O to a
-// node, a shuffle transfer landing on a remote NIC, a broker exchange,
-// a fault-schedule event — travels as a timestamped inter-shard
-// message, so each engine remains single-owner and the run is
-// bit-identical for every worker count.
+// Partitioning. Shard 0 (the coordinator) owns what is genuinely
+// cluster-global: the fair scheduler's slot accounting, per-job
+// barriers (map/reduce completion counts), the broker root, and the
+// share tree's clock. Shard 1+i owns datanode i: its two storage
+// devices, its NIC processor-sharing resources, its interposed I/O
+// schedulers, its coordination clients — and, since the coordinator
+// decomposition, the running task attempts placed on it (their chunk
+// pipelines, shuffle fetchers and merge loops execute on the owning
+// node's engine; see mapreduce's sharded runtime). Block metadata is
+// partitioned by block-id hash across dedicated metadata shards after
+// the federation partitions (Config.MetaShards), so placement draws
+// never serialize on shard 0. Every cross-shard interaction — a task
+// launch, a completion report, a shuffle transfer landing on a remote
+// NIC, a broker exchange, a fault-schedule event — travels as a
+// timestamped inter-shard message, so each engine remains single-owner
+// and the run is bit-identical for every worker count.
 //
 // The fabric lookahead plays the role of the cluster's control-plane
 // RPC latency: a submit, a completion notification, a NIC-to-NIC hop
@@ -31,6 +37,8 @@
 package cluster
 
 import (
+	"fmt"
+
 	"ibis/internal/broker"
 	"ibis/internal/faults"
 	"ibis/internal/iosched"
@@ -57,12 +65,56 @@ func NewSharded(cfg Config, lookahead float64, fo sim.FabricOptions) (*Cluster, 
 	if cfg.Coordinate && cfg.Federation.Enabled() {
 		extra = cfg.Federation.Partitions
 	}
-	f := sim.NewFabric(cfg.Nodes+1+extra, lookahead, fo)
-	return assemble(f.Shard(0).Engine(), f, cfg)
+	// Metadata shards host the partitioned namenode's placement draws
+	// (default 2 for full nodes; hollow nodes run no DFS). They sit
+	// after the federation partitions.
+	meta := cfg.MetaShards
+	if meta == 0 && !cfg.Hollow {
+		meta = DefaultMetaShards
+	}
+	if meta < 0 {
+		meta = 0
+	}
+	f := sim.NewFabric(cfg.Nodes+1+extra+meta, lookahead, fo)
+	c, err := assemble(f.Shard(0).Engine(), f, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for p := 0; p < meta; p++ {
+		c.meta = append(c.meta, f.Shard(1+cfg.Nodes+extra+p))
+	}
+	return c, nil
 }
+
+// DefaultMetaShards is the metadata shard count for full (non-hollow)
+// sharded assemblies when Config.MetaShards is zero.
+const DefaultMetaShards = 2
+
+// MetaShards returns the dedicated metadata shards (empty in
+// single-engine or hollow mode). The partitioned namenode's partition
+// p draws on shard p%len.
+func (c *Cluster) MetaShards() []*sim.Shard { return c.meta }
 
 // Fabric returns the simulation fabric, or nil in single-engine mode.
 func (c *Cluster) Fabric() *sim.Fabric { return c.fabric }
+
+// SetNodeUplinkLatency raises the minimum virtual latency of messages
+// leaving every datanode shard to lat seconds (≥ the fabric
+// lookahead). Node→coordinator traffic is periodic control RPCs
+// (heartbeat-piggybacked exchanges), so a looser uplink bound is
+// faithful to real clusters — and it widens the conservative
+// synchronization windows: the fabric can run each shard further ahead
+// before a barrier, cutting barrier count roughly by lat/lookahead.
+// Coordinator and partition shards keep the tight bound, so response
+// legs stay fast. No-op in single-engine mode.
+func (c *Cluster) SetNodeUplinkLatency(lat float64) {
+	if c.fabric == nil {
+		return
+	}
+	for i := range c.Nodes {
+		c.fabric.SetShardOutLatency(1+i, lat)
+	}
+}
 
 // NodeEngine returns the engine owning node i's devices (the cluster
 // engine in single-engine mode).
@@ -71,6 +123,75 @@ func (c *Cluster) NodeEngine(i int) *sim.Engine {
 		return c.fabric.Shard(i + 1).Engine()
 	}
 	return c.Eng
+}
+
+// Shard returns the node's fabric shard (nil in single-engine mode).
+func (n *Node) Shard() *sim.Shard { return n.shard }
+
+// CoordShard returns the coordinator shard (nil in single-engine
+// mode).
+func (c *Cluster) CoordShard() *sim.Shard {
+	if c.fabric == nil {
+		return nil
+	}
+	return c.fabric.Shard(0)
+}
+
+// Node-local I/O primitives for decomposed task execution. Unlike
+// SubmitIO/SendTagged — which assume the coordinator is calling and
+// route everything through shard 0 — these must be invoked from the
+// owning node's shard context (a task pipeline running on the node's
+// engine) and touch no coordinator state. Rejections panic, as on
+// every sharded submit path: specs are validated at submission, so a
+// rejection here is a wiring bug, not a recoverable condition.
+
+// SubmitLocal submits a request directly to this node's scheduler.
+// Caller must be executing on n's shard; OnDone fires there too.
+func (n *Node) SubmitLocal(req *iosched.Request) {
+	if req.Shares == nil {
+		req.Shares = n.shares
+	}
+	var err error
+	if req.Class.Persistent() {
+		err = n.HDFSSched.Submit(req)
+	} else {
+		err = n.LocalSched.Submit(req)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("cluster: node-local submit on node %d rejected: %v", n.Index, err))
+	}
+}
+
+// SendTaggedLocal ships size bytes from this node to dst with
+// application attribution, entirely off the coordinator: egress
+// through the NIC scheduler (or the raw NIC when the cluster does not
+// schedule network), one inter-shard hop, ingress on dst — and done
+// runs on dst's shard, where the receiving pipeline continues. Caller
+// must be executing on n's shard.
+func (n *Node) SendTaggedLocal(dst *Node, app iosched.AppID, size float64, done func()) {
+	deliver := func() {
+		n.shard.Post(dst.shard.ID(), 0, func() {
+			dst.nicIn.Submit(size, func() {
+				if done != nil {
+					done()
+				}
+			})
+		})
+	}
+	if n.NetSched == nil || size <= 0 {
+		n.nicOut.Submit(size, deliver)
+		return
+	}
+	err := n.NetSched.Submit(&iosched.Request{
+		App:    app,
+		Shares: n.shares,
+		Class:  iosched.NetworkTransfer,
+		Size:   size,
+		OnDone: func(float64) { deliver() },
+	})
+	if err != nil {
+		panic(fmt.Sprintf("cluster: node-local tagged send on node %d rejected: %v", n.Index, err))
+	}
 }
 
 // shardedTransport carries one coordination client's broker traffic

@@ -30,6 +30,10 @@ type Config struct {
 	Replication int
 	// Seed drives the deterministic placement RNG.
 	Seed int64
+	// Partitions shards block metadata by block-id hash across this
+	// many independent partitions, each with its own placement RNG
+	// (see partitioned.go). ≤ 1 keeps the legacy single-RNG namenode.
+	Partitions int
 }
 
 func (c *Config) defaults() {
@@ -81,6 +85,10 @@ type Namenode struct {
 	cfg   Config
 	rng   *rand.Rand
 	files map[string]*File
+	// parts holds the per-partition placement RNGs in partitioned mode
+	// (nil in legacy mode); partition p's state is only ever advanced
+	// by p's owner shard.
+	parts []*rand.Rand
 }
 
 // NewNamenode constructs a namenode for the given cluster size.
@@ -89,11 +97,20 @@ func NewNamenode(cfg Config) *Namenode {
 		panic(fmt.Sprintf("dfs: cluster must have at least one node, got %d", cfg.Nodes))
 	}
 	cfg.defaults()
-	return &Namenode{
+	nn := &Namenode{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		files: make(map[string]*File),
 	}
+	if cfg.Partitions > 1 {
+		nn.parts = make([]*rand.Rand, cfg.Partitions)
+		for p := range nn.parts {
+			// Distinct streams per partition; the +1 keeps partition 0
+			// off the legacy seed so layouts differ from legacy mode.
+			nn.parts[p] = rand.New(rand.NewSource(cfg.Seed + int64(p) + 1))
+		}
+	}
+	return nn
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -123,11 +140,21 @@ func (nn *Namenode) Create(name string, size float64) (*File, error) {
 			bs = remaining
 		}
 		remaining -= bs
+		var replicas []int
+		if len(nn.parts) > 0 {
+			// Partitioned: the block's owner draws. Walking blocks in
+			// index order, each partition sees its blocks in index
+			// order too, so this synchronous path produces the exact
+			// layout the metadata shards produce asynchronously.
+			replicas = nn.pickFrom(nn.parts[nn.Owner(name, i)], -1)
+		} else {
+			replicas = nn.pickReplicas(-1)
+		}
 		f.Blocks = append(f.Blocks, Block{
 			File:     name,
 			Index:    i,
 			Size:     bs,
-			Replicas: nn.pickReplicas(-1),
+			Replicas: replicas,
 		})
 	}
 	nn.files[name] = f
@@ -164,24 +191,10 @@ func (nn *Namenode) PlaceOutput(localNode int) []int {
 	return nn.pickReplicas(localNode)
 }
 
-// pickReplicas selects Replication distinct nodes; if first >= 0 it is
-// forced into the first slot.
+// pickReplicas selects Replication distinct nodes from the legacy
+// shared RNG; if first >= 0 it is forced into the first slot.
 func (nn *Namenode) pickReplicas(first int) []int {
-	r := nn.cfg.Replication
-	replicas := make([]int, 0, r)
-	used := make(map[int]bool, r)
-	if first >= 0 {
-		replicas = append(replicas, first)
-		used[first] = true
-	}
-	for len(replicas) < r {
-		n := nn.rng.Intn(nn.cfg.Nodes)
-		if !used[n] {
-			used[n] = true
-			replicas = append(replicas, n)
-		}
-	}
-	return replicas
+	return nn.pickFrom(nn.rng, first)
 }
 
 // BlockCountFor returns how many blocks a file of the given size

@@ -144,6 +144,11 @@ type Result struct {
 	// FabricStats reports the parallel fabric's window and message
 	// counters (nil in single-engine mode).
 	FabricStats *sim.FabricStats
+	// ShardLoad is the per-shard occupancy of the run (empty in
+	// single-engine mode): how much of the event work the coordinator
+	// kept versus what the decomposition moved to node and metadata
+	// shards.
+	ShardLoad metrics.ShardStats
 
 	latencies map[latKey]*metrics.Distribution
 }
@@ -249,6 +254,10 @@ func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) 
 		Nodes:     len(cl.Nodes),
 		BlockSize: dfs.DefaultBlockSize * opts.Scale,
 		Seed:      opts.Seed,
+		// Sharded: partition block metadata across the cluster's
+		// metadata shards so input placement never serializes on the
+		// coordinator (see dfs/partitioned.go).
+		Partitions: len(cl.MetaShards()),
 	})
 	// Chunk size stays at the full-scale 2 MB regardless of data scale:
 	// I/O granularity is a property of the client, not the data volume,
@@ -436,6 +445,8 @@ func RunWithSetup(opts Options, entries []Entry, setup func(*mapreduce.Runtime) 
 		res.EventsFired = cl.Fabric().Fired()
 		st := cl.Fabric().Stats()
 		res.FabricStats = &st
+		ev, busy := cl.Fabric().Occupancy()
+		res.ShardLoad = metrics.ShardStats{Events: ev, Busy: busy}
 	} else {
 		res.EventsFired = eng.Fired()
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ibis/internal/cluster"
+	"ibis/internal/metrics"
 )
 
 // ShardsRow is one run of the sharded-fabric benchmark scenario. The
@@ -25,12 +26,16 @@ type ShardsRow struct {
 	Digest     string // sha256 prefix of the merged JSONL trace
 	Violations uint64 // audit violations (must be 0)
 	Wall       time.Duration
+	// ShardLoad is the per-shard occupancy: the coordinator event
+	// fraction here is the run's measured serial term (Amdahl).
+	ShardLoad metrics.ShardStats
 }
 
 // ShardsResult reports the sharded parallel-simulation benchmark: the
 // Figure 3 HDD co-run (WordCount vs TeraSort under coordinated
-// SFQ(D2)) executed on the 9-shard fabric at 1 worker and at N
-// workers, with traces digested and invariants audited on both.
+// SFQ(D2)) executed on the sharded fabric (8 node shards, 2 metadata
+// shards, the coordinator) at 1 worker and at N workers, with traces
+// digested and invariants audited on both.
 //
 // String prints only deterministic fields; wall-clock times and the
 // speedup — which vary run to run — are surfaced on stderr through
@@ -89,6 +94,7 @@ func shardsRun(scale float64, workers int) (ShardsRow, error) {
 		row.ParWindows = res.FabricStats.ParallelWindows
 		row.Messages = res.FabricStats.Messages
 	}
+	row.ShardLoad = res.ShardLoad
 	return row, nil
 }
 
@@ -112,6 +118,22 @@ func Shards(scale float64, workers int) (*ShardsResult, error) {
 	return out, nil
 }
 
+// GateErr reports the determinism pin as an error: a parallel run
+// whose trace digest (or any deterministic field) differs from the
+// serial run is a correctness failure, not a perf data point —
+// ibis-bench exits non-zero on it.
+func (r *ShardsResult) GateErr() error {
+	if len(r.Rows) == 2 && !r.Match {
+		return fmt.Errorf("parallel run (workers=%d, digest %s) does not match serial run (digest %s)",
+			r.Rows[1].Workers, r.Rows[1].Digest, r.Rows[0].Digest)
+	}
+	if len(r.Rows) == 2 && (r.Rows[0].Violations > 0 || r.Rows[1].Violations > 0) {
+		return fmt.Errorf("audit violations: serial=%d parallel=%d",
+			r.Rows[0].Violations, r.Rows[1].Violations)
+	}
+	return nil
+}
+
 // Speedup returns serial wall / parallel wall (0 until both rows ran).
 func (r *ShardsResult) Speedup() float64 {
 	if len(r.Rows) != 2 || r.Rows[1].Wall <= 0 {
@@ -123,7 +145,11 @@ func (r *ShardsResult) Speedup() float64 {
 // String renders the deterministic comparison table.
 func (r *ShardsResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Sharded simulation: Fig03-class HDD co-run, 9 shards, lookahead %gs (scale %.3g)\n", r.Lookahead, r.Scale)
+	shards := ""
+	if len(r.Rows) > 0 && r.Rows[0].ShardLoad.Shards() > 0 {
+		shards = fmt.Sprintf("%d shards, ", r.Rows[0].ShardLoad.Shards())
+	}
+	fmt.Fprintf(&b, "Sharded simulation: Fig03-class HDD co-run, %slookahead %gs (scale %.3g)\n", shards, r.Lookahead, r.Scale)
 	fmt.Fprintf(&b, "  %-8s %12s %10s %9s %10s %9s %18s %6s\n",
 		"workers", "duration(s)", "events", "windows", "parallel", "messages", "trace digest", "viol")
 	for _, row := range r.Rows {
@@ -142,7 +168,11 @@ func (r *ShardsResult) StderrNote() string {
 	if len(r.Rows) != 2 {
 		return ""
 	}
-	return fmt.Sprintf("shards=%d speedup=%.2fx (serial %.2fs, parallel %.2fs, gomaxprocs=%d)",
+	note := fmt.Sprintf("shards=%d speedup=%.2fx (serial %.2fs, parallel %.2fs, gomaxprocs=%d)",
 		r.Rows[1].Workers, r.Speedup(), r.Rows[0].Wall.Seconds(), r.Rows[1].Wall.Seconds(),
 		runtime.GOMAXPROCS(0))
+	if r.Rows[1].ShardLoad.Shards() > 0 {
+		note += "\n" + r.Rows[1].ShardLoad.Note()
+	}
+	return note
 }

@@ -21,6 +21,12 @@ import "ibis/internal/cluster"
 // FailNode marks the datanode dead and triggers recovery. Failing an
 // already-dead node is a no-op.
 func (rt *Runtime) FailNode(idx int) {
+	if rt.sharded() {
+		// Recovery walks and mutates task state that now lives on node
+		// shards; cluster/sharded.go documents failure injection as
+		// unsupported there.
+		panic("mapreduce: FailNode is unsupported in sharded mode")
+	}
 	n := rt.cluster.Nodes[idx]
 	if n.Dead {
 		return
@@ -115,6 +121,7 @@ func (rt *Runtime) RerunMaps() uint64 { return rt.rerunMaps }
 // restart requeues a reduce whose node died: everything it fetched and
 // spilled is gone, so it starts from an empty shuffle.
 func (r *reduceTask) restart() {
+	r.cancelRun()
 	job := r.job
 	job.rt.fair.releaseReduce(r.node, job, job.Spec.ReduceMemGB)
 	r.attempt++

@@ -75,6 +75,13 @@ type Runtime struct {
 	onDone  []func(*Job)
 	pools   map[string]*pool
 
+	// Sharded decomposition (see sharded.go): the coordinator shard
+	// and the metadata shards hosting the partitioned namenode. Both
+	// nil/empty in single-engine mode, where the legacy inline paths
+	// run unchanged.
+	coordShard *sim.Shard
+	metaShards []*sim.Shard
+
 	// Failure-injection counters (see failure.go).
 	failedTasks uint64
 	rerunMaps   uint64
@@ -84,6 +91,10 @@ type Runtime struct {
 func NewRuntime(eng *sim.Engine, c *cluster.Cluster, nn *dfs.Namenode, cfg Config) *Runtime {
 	cfg.defaults()
 	rt := &Runtime{eng: eng, cluster: c, nn: nn, cfg: cfg, pools: make(map[string]*pool)}
+	if c.Fabric() != nil {
+		rt.coordShard = c.CoordShard()
+		rt.metaShards = c.MetaShards()
+	}
 	rt.fair = newFairScheduler(rt)
 	if !cfg.DisablePreemption {
 		rt.fair.startPreemptionMonitor()
@@ -202,16 +213,36 @@ func (rt *Runtime) Submit(spec JobSpec, delay float64) (*Job, error) {
 }
 
 // start materializes the job's input file and task set and hands the
-// tasks to the fair scheduler.
+// tasks to the fair scheduler. In sharded mode with a metadata plane,
+// input placement runs asynchronously on the metadata shards (one
+// round trip of namenode RPC latency before the first wave launches).
 func (rt *Runtime) start(job *Job) {
 	job.SubmitTime = rt.eng.Now()
 	spec := job.Spec
 
 	if spec.InputBytes > 0 {
-		f, err := rt.nn.Create(fmt.Sprintf("%s-%d/input", spec.Name, job.seq), spec.InputBytes)
+		name := fmt.Sprintf("%s-%d/input", spec.Name, job.seq)
+		if rt.sharded() && len(rt.metaShards) > 0 && rt.nn.Partitions() > 1 {
+			rt.createAsync(name, spec.InputBytes, func(f *dfs.File) {
+				rt.materialize(job, f)
+			})
+			return
+		}
+		f, err := rt.nn.Create(name, spec.InputBytes)
 		if err != nil {
 			panic(err) // job sequence numbers are unique; collision is a bug
 		}
+		rt.materialize(job, f)
+		return
+	}
+	rt.materialize(job, nil)
+}
+
+// materialize builds the job's task set from its input file (nil for
+// generator jobs) and hands the tasks to the fair scheduler.
+func (rt *Runtime) materialize(job *Job, f *dfs.File) {
+	spec := job.Spec
+	if f != nil {
 		job.input = f
 		for i := range f.Blocks {
 			job.maps = append(job.maps, &mapTask{job: job, index: i, block: &f.Blocks[i]})
@@ -411,10 +442,24 @@ func (j *Job) noteMapDone(m *mapTask) {
 			r.addSegment(segment{srcNode: m.node, bytes: per})
 		}
 	}
-	// Reduces already running may now be able to close their shuffle.
-	for _, r := range j.reduces {
-		if r.state == taskRunning {
-			r.maybeFinishShuffle()
+	if j.rt.sharded() {
+		// The shuffle barrier lives on the node shards: running reduces
+		// learn "all maps done" by marker message, not by reading the
+		// coordinator's counters.
+		if j.mapsDone == len(j.maps) {
+			for _, r := range j.reduces {
+				if r.state == taskRunning && r.rrun != nil {
+					run := r.rrun
+					j.rt.toNode(run.node, func() { run.markAllMapsDone() })
+				}
+			}
+		}
+	} else {
+		// Reduces already running may now be able to close their shuffle.
+		for _, r := range j.reduces {
+			if r.state == taskRunning {
+				r.maybeFinishShuffle()
+			}
 		}
 	}
 	j.maybeFinish()
@@ -479,15 +524,26 @@ func (j *Job) submitIO(n *cluster.Node, class iosched.Class, size float64, done 
 // fn(chunkSize, next) must call next() when the chunk completes. done
 // fires after the final chunk.
 func (rt *Runtime) chunked(size float64, fn func(chunk float64, next func()), done func()) {
-	rt.windowed(size, 1, fn, done)
+	windowedOn(rt.eng, rt.cfg.ChunkBytes, size, 1, fn, done)
 }
 
 // windowed is the pipelined generalization of chunked: up to `window`
 // chunks may be in flight concurrently (write-behind). done fires when
 // every chunk has completed.
 func (rt *Runtime) windowed(size float64, window int, fn func(chunk float64, next func()), done func()) {
+	windowedOn(rt.eng, rt.cfg.ChunkBytes, size, window, fn, done)
+}
+
+// chunkedOn is chunked against an explicit engine — the node-local
+// task pipelines drive their chunk loops on the owning shard's engine.
+func chunkedOn(eng *sim.Engine, chunkBytes, size float64, fn func(chunk float64, next func()), done func()) {
+	windowedOn(eng, chunkBytes, size, 1, fn, done)
+}
+
+// windowedOn is windowed against an explicit engine.
+func windowedOn(eng *sim.Engine, chunkBytes, size float64, window int, fn func(chunk float64, next func()), done func()) {
 	if size <= 0 {
-		rt.eng.Schedule(0, done)
+		eng.Schedule(0, done)
 		return
 	}
 	if window < 1 {
@@ -508,7 +564,7 @@ func (rt *Runtime) windowed(size float64, window int, fn func(chunk float64, nex
 		if remaining <= 0 {
 			return
 		}
-		c := rt.cfg.ChunkBytes
+		c := chunkBytes
 		if remaining < c {
 			c = remaining
 		}

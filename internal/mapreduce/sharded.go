@@ -1,0 +1,493 @@
+package mapreduce
+
+// Decomposed (sharded) task execution: the coordinator keeps only the
+// per-job barriers.
+//
+// In the original sharded wiring every task's chunk pipeline — input
+// reads, compute interleave, spill writes, shuffle fetches, merge,
+// replicated output — ran on the coordinator engine, with each chunk
+// bouncing submit and completion messages through shard 0. That made
+// the coordinator's event count proportional to the cluster's total
+// I/O, the serial term that capped parallel speedup.
+//
+// Here a launched task attempt becomes a run struct (mapRun /
+// reduceRun) posted to the owning datanode's shard. The whole data
+// path executes on that node's engine: local device submits are
+// direct calls, remote reads and replica writes hop node-to-node, and
+// shuffle segments stream source→destination — none of it touches
+// shard 0. The coordinator sees exactly three kinds of task messages:
+// launch (coordinator→node), completion (node→coordinator, guarded by
+// the attempt token against stale attempts), and the all-maps-done
+// marker that closes reduce shuffles. Slot accounting, fair-share
+// pumping, preemption and job completion stay coordinator-side,
+// folding those completions.
+//
+// Cancellation is message-based for determinism: preempt/restart on
+// the coordinator bumps the attempt token immediately (so stale
+// completions drop on arrival) and posts a cancel to the run, which
+// flips its node-local cancelled flag; every node-side continuation is
+// guarded by it. There are no cross-shard reads of mutable state in
+// either direction — the run snapshots what it needs at launch, and
+// everything else it touches (specs, blocks, share handles) is
+// immutable for the attempt's lifetime.
+//
+// Input placement runs on the metadata shards (createAsync): each
+// namenode partition draws its blocks' replica sets on its own shard
+// and the coordinator folds the answers — dfs.Namenode's partitioned
+// mode guarantees the same layout the synchronous path would produce.
+// Output placement needs no messages at all: PlaceOutputKeyed is a
+// pure function of the attempt's identity, so the writing node shard
+// computes its replica set locally.
+
+import (
+	"math/rand"
+
+	"ibis/internal/cluster"
+	"ibis/internal/dfs"
+	"ibis/internal/iosched"
+	"ibis/internal/sim"
+)
+
+// sharded reports whether the runtime executes on a fabric with the
+// decomposed task path.
+func (rt *Runtime) sharded() bool { return rt.coordShard != nil }
+
+// toNode posts fn to node n's shard. Coordinator context only.
+func (rt *Runtime) toNode(n *cluster.Node, fn func()) {
+	rt.coordShard.Post(n.Shard().ID(), 0, fn)
+}
+
+// outputKey identifies one task attempt's DFS output for keyed
+// placement: (job, kind, task, attempt) — unique per attempt, so the
+// placement is deterministic no matter when or where it is computed.
+func outputKey(jobSeq int, kind uint64, index, attempt int) uint64 {
+	return uint64(jobSeq)<<32 | kind<<28 | uint64(index)<<8 | uint64(attempt)&0xff
+}
+
+const (
+	keyKindMap    = 1
+	keyKindReduce = 2
+)
+
+// createAsync materializes a job input file across the metadata
+// shards: each namenode partition draws the placements for the blocks
+// it owns on its own shard, and the coordinator publishes the file
+// once every owner has answered. One namenode-RPC round trip of
+// virtual latency, no serialization on shard 0, and — because each
+// partition sees its blocks in index order — the exact layout the
+// synchronous dfs.Create would have produced.
+func (rt *Runtime) createAsync(name string, size float64, done func(*dfs.File)) {
+	nn := rt.nn
+	sizes := nn.Shape(size)
+	parts := nn.Partitions()
+	owned := make([][]int, parts) // block indices per partition, ascending
+	for i := range sizes {
+		p := nn.Owner(name, i)
+		owned[p] = append(owned[p], i)
+	}
+	replicas := make([][]int, len(sizes))
+	remaining := 0
+	for p := 0; p < parts; p++ {
+		if len(owned[p]) > 0 {
+			remaining++
+		}
+	}
+	publish := func() {
+		f, err := nn.Publish(name, sizes, replicas)
+		if err != nil {
+			panic(err) // job sequence numbers are unique; collision is a bug
+		}
+		done(f)
+	}
+	if remaining == 0 {
+		rt.eng.Schedule(0, publish)
+		return
+	}
+	coordID := rt.coordShard.ID()
+	for p := 0; p < parts; p++ {
+		idxs := owned[p]
+		if len(idxs) == 0 {
+			continue
+		}
+		p := p
+		ms := rt.metaShards[p%len(rt.metaShards)]
+		rt.coordShard.Post(ms.ID(), 0, func() {
+			sets := nn.PlacePartition(p, len(idxs))
+			ms.Post(coordID, 0, func() {
+				for k, i := range idxs {
+					replicas[i] = sets[k]
+				}
+				if remaining--; remaining == 0 {
+					publish()
+				}
+			})
+		})
+	}
+}
+
+// ioOn submits one tagged request directly on a node's scheduler.
+// Caller must be executing on the node's shard; done fires there.
+func ioOn(n *cluster.Node, app iosched.AppID, class iosched.Class, size float64, done func()) {
+	n.SubmitLocal(&iosched.Request{
+		App:   app,
+		Class: class,
+		Size:  size,
+		OnDone: func(float64) {
+			if done != nil {
+				done()
+			}
+		},
+	})
+}
+
+// mapRun is one map attempt executing on its node's shard.
+type mapRun struct {
+	rt        *Runtime
+	m         *mapTask
+	job       *Job
+	att       int
+	node      *cluster.Node
+	eng       *sim.Engine
+	cancelled bool
+}
+
+// alive guards a node-side continuation against a cancelled attempt.
+func (mr *mapRun) alive(fn func()) func() {
+	return func() {
+		if !mr.cancelled {
+			fn()
+		}
+	}
+}
+
+// runSharded launches the attempt: build the run on the coordinator,
+// post it to the owning node's shard. Replaces run() in sharded mode.
+func (m *mapTask) runSharded() {
+	rt := m.job.rt
+	run := &mapRun{
+		rt:   rt,
+		m:    m,
+		job:  m.job,
+		att:  m.attempt,
+		node: m.node,
+		eng:  rt.cluster.NodeEngine(m.node.Index),
+	}
+	m.srun = run
+	rt.toNode(run.node, func() { run.start() })
+}
+
+// completeSharded folds a node-side completion on the coordinator,
+// dropping reports from stale attempts.
+func (m *mapTask) completeSharded(att int) {
+	if m.attempt != att || m.state != taskRunning {
+		return
+	}
+	m.srun = nil
+	m.finish()
+}
+
+// start runs the map's three phases on the node shard; the pipeline
+// mirrors mapTask.run chunk for chunk, minus the coordinator bounces.
+func (mr *mapRun) start() {
+	m, rt := mr.m, mr.rt
+	alive := mr.alive
+	mr.consumeInput(alive(func() {
+		// Phase 2: spill intermediate output locally (write-behind).
+		windowedOn(mr.eng, rt.cfg.ChunkBytes, m.interBytes(), rt.cfg.WriteAheadChunks, func(c float64, next func()) {
+			ioOn(mr.node, mr.job.App, iosched.IntermediateWrite, c, alive(next))
+		}, alive(func() {
+			// Phase 3: direct DFS output (map-only jobs), replicated.
+			key := outputKey(mr.job.seq, keyKindMap, m.index, mr.att)
+			writeReplicatedLocal(rt, mr.job, mr.node, mr.eng, m.directOutBytes(), key, alive, alive(func() {
+				mr.node.Shard().Post(rt.coordShard.ID(), 0, func() {
+					m.completeSharded(mr.att)
+				})
+			}))
+		}))
+	}))
+}
+
+// consumeInput is phase 1 on the node shard: alternate chunk reads
+// with computation. Remote chunks hop to the replica's shard for the
+// read and stream back node-to-node.
+func (mr *mapRun) consumeInput(done func()) {
+	m, rt := mr.m, mr.rt
+	cpuPerByte := mr.job.Spec.MapCPUSecPerMB / 1e6
+	if m.block == nil {
+		// Generator: pure computation over the synthesized volume.
+		mr.eng.Schedule(m.inputBytes()*cpuPerByte, done)
+		return
+	}
+	alive := mr.alive
+	local := m.block.HasReplicaOn(mr.node.Index)
+	coordID := rt.coordShard.ID()
+	chunkedOn(mr.eng, rt.cfg.ChunkBytes, m.block.Size, func(c float64, next func()) {
+		afterRead := alive(func() {
+			mr.eng.Schedule(c*cpuPerByte, alive(next))
+		})
+		if local {
+			ioOn(mr.node, mr.job.App, iosched.PersistentRead, c, afterRead)
+			return
+		}
+		src := m.pickReplica(rt)
+		if src == nil {
+			// Unreachable without node failures (unsupported sharded),
+			// but fail the job through the coordinator rather than wedge.
+			mr.node.Shard().Post(coordID, 0, func() {
+				if m.attempt == mr.att && m.state == taskRunning {
+					m.preempt()
+					m.job.fail()
+				}
+			})
+			return
+		}
+		mr.node.Shard().Post(src.Shard().ID(), 0, func() {
+			ioOn(src, mr.job.App, iosched.PersistentRead, c, func() {
+				src.SendTaggedLocal(mr.node, mr.job.App, c, afterRead)
+			})
+		})
+	}, done)
+}
+
+// reduceRun is one reduce attempt executing on its node's shard. It
+// owns the shuffle state for the attempt: the coordinator forwards
+// segments and the all-maps-done marker as messages and otherwise
+// stays out of the data path.
+type reduceRun struct {
+	rt             *Runtime
+	r              *reduceTask
+	job            *Job
+	att            int
+	node           *cluster.Node
+	eng            *sim.Engine
+	pending        []segment
+	activeFetchers int
+	segsDone       int
+	expected       int
+	fetchedBytes   float64
+	allMapsDone    bool
+	finishing      bool
+	cancelled      bool
+	inMem          bool
+	rng            *rand.Rand
+}
+
+func (rr *reduceRun) alive(fn func()) func() {
+	return func() {
+		if !rr.cancelled {
+			fn()
+		}
+	}
+}
+
+// runSharded launches the attempt with a snapshot of the shuffle
+// backlog accumulated on the coordinator. Replaces run() sharded.
+func (r *reduceTask) runSharded() {
+	rt := r.job.rt
+	if r.attempt > 0 {
+		r.reseedSegments()
+	}
+	run := &reduceRun{
+		rt:          rt,
+		r:           r,
+		job:         r.job,
+		att:         r.attempt,
+		node:        r.node,
+		eng:         rt.cluster.NodeEngine(r.node.Index),
+		pending:     append([]segment(nil), r.pending...),
+		segsDone:    r.segsDone,
+		expected:    r.expectedSegments(),
+		allMapsDone: r.job.mapsDone == len(r.job.maps),
+		inMem:       r.inMemoryShuffle(),
+		rng:         rand.New(rand.NewSource(int64(r.job.seq)*1009 + int64(r.index))),
+	}
+	r.rrun = run
+	r.pending = nil
+	rt.toNode(run.node, func() { run.start() })
+}
+
+func (r *reduceTask) completeSharded(att int) {
+	if r.attempt != att || r.state != taskRunning {
+		return
+	}
+	r.rrun = nil
+	r.finish()
+}
+
+func (rr *reduceRun) start() {
+	rr.pumpFetchers()
+	rr.maybeFinishShuffle()
+}
+
+// addSegment receives one map output partition forwarded by the
+// coordinator (or snapshot at launch via pending).
+func (rr *reduceRun) addSegment(seg segment) {
+	if rr.cancelled {
+		return
+	}
+	if seg.bytes <= 0 {
+		rr.segsDone++ // trivially fetched
+		rr.maybeFinishShuffle()
+		return
+	}
+	rr.pending = append(rr.pending, seg)
+	rr.pumpFetchers()
+}
+
+// markAllMapsDone is the coordinator's shuffle-barrier marker.
+func (rr *reduceRun) markAllMapsDone() {
+	if rr.cancelled {
+		return
+	}
+	rr.allMapsDone = true
+	rr.maybeFinishShuffle()
+}
+
+func (rr *reduceRun) pumpFetchers() {
+	for rr.activeFetchers < rr.rt.cfg.ShuffleParallelism && len(rr.pending) > 0 {
+		i := rr.rng.Intn(len(rr.pending))
+		seg := rr.pending[i]
+		rr.pending[i] = rr.pending[len(rr.pending)-1]
+		rr.pending = rr.pending[:len(rr.pending)-1]
+		rr.activeFetchers++
+		rr.fetchSegment(seg, func() {
+			if rr.cancelled {
+				return // the attempt died; its node state is garbage
+			}
+			rr.activeFetchers--
+			rr.segsDone++
+			rr.fetchedBytes += seg.bytes
+			rr.pumpFetchers()
+			rr.maybeFinishShuffle()
+		})
+	}
+}
+
+// fetchSegment streams one segment source→destination: intermediate
+// read on the source's shard, tagged network hop, local spill (unless
+// the shuffle fits in memory). The chunk loop advances on the reduce's
+// shard; the coordinator is not involved.
+func (rr *reduceRun) fetchSegment(seg segment, done func()) {
+	rt, node := rr.rt, rr.node
+	alive := rr.alive
+	chunkedOn(rr.eng, rt.cfg.ChunkBytes, seg.bytes, func(c float64, next func()) {
+		land := func() {
+			if rr.inMem {
+				next()
+				return
+			}
+			ioOn(node, rr.job.App, iosched.IntermediateWrite, c, alive(next))
+		}
+		if seg.srcNode == node {
+			ioOn(node, rr.job.App, iosched.IntermediateRead, c, alive(land))
+			return
+		}
+		src := seg.srcNode
+		node.Shard().Post(src.Shard().ID(), 0, func() {
+			ioOn(src, rr.job.App, iosched.IntermediateRead, c, func() {
+				src.SendTaggedLocal(node, rr.job.App, c, alive(land))
+			})
+		})
+	}, done)
+}
+
+// maybeFinishShuffle closes the shuffle once the marker has arrived
+// and every expected segment is in, then merges, computes and writes
+// replicated output — all node-local.
+func (rr *reduceRun) maybeFinishShuffle() {
+	if rr.finishing || rr.cancelled {
+		return
+	}
+	if !rr.allMapsDone || rr.segsDone < rr.expected {
+		return
+	}
+	rr.finishing = true
+	// shuffleDoneTime is owned by the live attempt; the coordinator
+	// only reads task timings after the fabric run completes.
+	rr.r.shuffleDoneTime = rr.eng.Now()
+	rt := rr.rt
+	cpuPerByte := rr.job.Spec.ReduceCPUSecPerMB / 1e6
+	alive := rr.alive
+	merge := func(c float64, next func()) {
+		rr.eng.Schedule(c*cpuPerByte, alive(next))
+	}
+	if !rr.inMem {
+		merge = func(c float64, next func()) {
+			ioOn(rr.node, rr.job.App, iosched.IntermediateRead, c, alive(func() {
+				rr.eng.Schedule(c*cpuPerByte, alive(next))
+			}))
+		}
+	}
+	chunkedOn(rr.eng, rt.cfg.ChunkBytes, rr.fetchedBytes, merge, alive(func() {
+		out := 0.0
+		if n := rr.job.Spec.NumReduces; n > 0 {
+			out = rr.job.Spec.OutputBytes / float64(n)
+		}
+		key := outputKey(rr.job.seq, keyKindReduce, rr.r.index, rr.att)
+		writeReplicatedLocal(rt, rr.job, rr.node, rr.eng, out, key, alive, alive(func() {
+			rr.node.Shard().Post(rt.coordShard.ID(), 0, func() {
+				rr.r.completeSharded(rr.att)
+			})
+		}))
+	}))
+}
+
+// writeReplicatedLocal is the node-local HDFS write pipeline: the
+// replica set comes from keyed placement (a pure function — no
+// namenode round trip), the local copy writes directly, and remote
+// copies stream node-to-node with the window advancing on the writer's
+// shard.
+func writeReplicatedLocal(rt *Runtime, job *Job, n *cluster.Node, eng *sim.Engine, size float64, key uint64, alive func(func()) func(), done func()) {
+	if size <= 0 {
+		eng.Schedule(0, done)
+		return
+	}
+	repl := rt.nn.Replication()
+	if job.Spec.OutputReplication > 0 && job.Spec.OutputReplication < repl {
+		repl = job.Spec.OutputReplication
+	}
+	replicas := rt.nn.PlaceOutputKeyed(n.Index, key)[:repl]
+	myShard := n.Shard()
+	windowedOn(eng, rt.cfg.ChunkBytes, size, rt.cfg.WriteAheadChunks, func(c float64, next func()) {
+		remainingCopies := len(replicas)
+		copyDone := alive(func() {
+			remainingCopies--
+			if remainingCopies == 0 {
+				next()
+			}
+		})
+		for _, idx := range replicas {
+			target := rt.cluster.Nodes[idx]
+			if target == n {
+				ioOn(target, job.App, iosched.PersistentWrite, c, copyDone)
+				continue
+			}
+			n.SendTaggedLocal(target, job.App, c, func() {
+				ioOn(target, job.App, iosched.PersistentWrite, c, func() {
+					target.Shard().Post(myShard.ID(), 0, copyDone)
+				})
+			})
+		}
+	}, done)
+}
+
+// cancelRun posts the cancel message for a preempted/restarted map
+// attempt. Coordinator context only.
+func (m *mapTask) cancelRun() {
+	run := m.srun
+	if run == nil {
+		return
+	}
+	m.srun = nil
+	m.job.rt.toNode(run.node, func() { run.cancelled = true })
+}
+
+// cancelRun posts the cancel message for a restarted reduce attempt.
+func (r *reduceTask) cancelRun() {
+	run := r.rrun
+	if run == nil {
+		return
+	}
+	r.rrun = nil
+	r.job.rt.toNode(run.node, func() { run.cancelled = true })
+}

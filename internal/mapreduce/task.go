@@ -34,6 +34,10 @@ type mapTask struct {
 	// attempt invalidates in-flight callbacks of a preempted attempt:
 	// every continuation checks it before making progress.
 	attempt int
+	// srun is the node-shard execution of the current attempt in
+	// sharded mode (see sharded.go); nil single-engine or between
+	// attempts.
+	srun *mapRun
 
 	startTime, endTime float64
 }
@@ -82,6 +86,10 @@ func (m *mapTask) localOn(n *cluster.Node) bool {
 // in-flight callbacks die silently.
 func (m *mapTask) run() {
 	rt := m.job.rt
+	if rt.sharded() {
+		m.runSharded()
+		return
+	}
 	att := m.attempt
 	alive := func(fn func()) func() {
 		return func() {
@@ -153,6 +161,7 @@ func (m *mapTask) preempt() {
 	if m.state != taskRunning {
 		return
 	}
+	m.cancelRun()
 	job := m.job
 	job.rt.fair.release(m.node, job, job.Spec.MapMemGB)
 	m.attempt++
@@ -186,6 +195,10 @@ type reduceTask struct {
 	// different order (as Hadoop's shuffle does) so that parallel
 	// reduces don't convoy on one source disk.
 	rng *rand.Rand
+	// rrun is the node-shard execution of the current attempt in
+	// sharded mode (see sharded.go); nil single-engine or between
+	// attempts.
+	rrun *reduceRun
 
 	startTime, shuffleDoneTime, endTime float64
 }
@@ -193,6 +206,16 @@ type reduceTask struct {
 // addSegment enqueues one map output partition; if the reduce is
 // running, a fetcher may pick it up immediately.
 func (r *reduceTask) addSegment(seg segment) {
+	// Sharded: a running attempt owns its shuffle state on its node's
+	// shard — forward the segment as a message. While the reduce waits
+	// for a slot the coordinator accumulates the backlog below, and
+	// runSharded snapshots it at launch.
+	if rt := r.job.rt; rt.sharded() && r.state == taskRunning {
+		if run := r.rrun; run != nil {
+			rt.toNode(run.node, func() { run.addSegment(seg) })
+		}
+		return
+	}
 	// A restarted reduce waiting for a slot ignores pushes: it rebuilds
 	// its whole queue from the surviving map outputs when it launches
 	// (reseedSegments), so accepting pushes here would double-count.
@@ -216,6 +239,10 @@ func (r *reduceTask) addSegment(seg segment) {
 // fetching as maps complete. A restarted attempt first rebuilds its
 // segment queue from the surviving completed map outputs.
 func (r *reduceTask) run() {
+	if r.job.rt.sharded() {
+		r.runSharded()
+		return
+	}
 	if r.attempt > 0 {
 		r.reseedSegments()
 	}

@@ -97,6 +97,10 @@ type ScaleStats struct {
 	PeakHeapBytes uint64
 	BytesPerFlow  float64
 	BytesPerNode  float64
+
+	// ShardLoad is the per-shard occupancy of the run (events are
+	// deterministic, busy time is host wall clock); see ShardStats.
+	ShardLoad ShardStats
 }
 
 // Deterministic formats the machine-independent outcome fields — the
@@ -130,5 +134,8 @@ func (s ScaleStats) Envelope() string {
 	fmt.Fprintf(&b, "events=%d wall=%.2fs events/sec=%.0f\n", s.Events, s.WallSeconds, s.EventsPerSec)
 	fmt.Fprintf(&b, "peak-heap=%.1fMB bytes/flow=%.0f bytes/node=%.0f\n",
 		float64(s.PeakHeapBytes)/1e6, s.BytesPerFlow, s.BytesPerNode)
+	if s.ShardLoad.Shards() > 0 {
+		fmt.Fprintf(&b, "%s\n", s.ShardLoad.Note())
+	}
 	return b.String()
 }

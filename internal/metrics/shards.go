@@ -1,0 +1,83 @@
+package metrics
+
+// Per-shard occupancy of a sharded (fabric) run: how much of the
+// simulation's work the coordinator shard actually performs, measured
+// instead of estimated. Events-per-shard is a deterministic function of
+// the model (identical for every worker count); busy-time is wall clock
+// and belongs on the host-dependent envelope only. The coordinator
+// fractions are the serial term of Amdahl's law for the run — the
+// number the coordinator-decomposition work drives down.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ShardStats records per-shard execution load for one fabric run.
+// Index 0 is the coordinator shard by convention.
+type ShardStats struct {
+	// Events is the number of events each shard executed (deterministic).
+	Events []uint64
+	// Busy is the wall-clock seconds each shard spent executing windows
+	// (host-dependent).
+	Busy []float64
+}
+
+// Shards returns the shard count.
+func (s ShardStats) Shards() int { return len(s.Events) }
+
+// TotalEvents sums events across shards.
+func (s ShardStats) TotalEvents() uint64 {
+	var n uint64
+	for _, e := range s.Events {
+		n += e
+	}
+	return n
+}
+
+// CoordEventFraction returns the coordinator shard's share of all
+// executed events — the deterministic Amdahl fraction (0 when empty).
+func (s ShardStats) CoordEventFraction() float64 {
+	total := s.TotalEvents()
+	if len(s.Events) == 0 || total == 0 {
+		return 0
+	}
+	return float64(s.Events[0]) / float64(total)
+}
+
+// CoordBusyFraction returns the coordinator shard's share of total
+// wall-clock execution time (host-dependent; 0 when nothing ran).
+func (s ShardStats) CoordBusyFraction() float64 {
+	var total float64
+	for _, b := range s.Busy {
+		total += b
+	}
+	if len(s.Busy) == 0 || total == 0 {
+		return 0
+	}
+	return s.Busy[0] / total
+}
+
+// MaxEvents returns the busiest shard's index and event count.
+func (s ShardStats) MaxEvents() (shard int, events uint64) {
+	for i, e := range s.Events {
+		if e > events {
+			shard, events = i, e
+		}
+	}
+	return shard, events
+}
+
+// Note formats the occupancy as a one-line summary for stderr
+// envelopes: coordinator fraction by events and by busy time, plus the
+// busiest shard.
+func (s ShardStats) Note() string {
+	if len(s.Events) == 0 {
+		return "shard-occupancy: n/a"
+	}
+	var b strings.Builder
+	maxShard, maxEv := s.MaxEvents()
+	fmt.Fprintf(&b, "shard-occupancy: shards=%d coord-events=%.1f%% coord-busy=%.1f%% max-shard=%d (%d events)",
+		s.Shards(), 100*s.CoordEventFraction(), 100*s.CoordBusyFraction(), maxShard, maxEv)
+	return b.String()
+}

@@ -89,6 +89,15 @@ type Config struct {
 	// the cluster default.
 	Workers   int
 	Lookahead float64
+
+	// NodeLookahead is the minimum virtual latency of messages leaving a
+	// node shard (the heartbeat-piggybacked control uplink). A bound
+	// looser than the base Lookahead widens the fabric's conservative
+	// windows — fewer barriers, more parallel headroom — without
+	// touching data-plane timing, which is node-local. ≤ 0 defaults to
+	// min(TickPeriod, CoordinationPeriod/8); set it to Lookahead to
+	// force uniform edges.
+	NodeLookahead float64
 }
 
 func (c *Config) defaults() {
@@ -139,6 +148,19 @@ func (c *Config) defaults() {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 1
+	}
+	if c.NodeLookahead <= 0 {
+		c.NodeLookahead = c.TickPeriod
+		if la := c.CoordinationPeriod / 8; la < c.NodeLookahead {
+			c.NodeLookahead = la
+		}
+	}
+	base := c.Lookahead
+	if base <= 0 {
+		base = cluster.DefaultLookahead
+	}
+	if c.NodeLookahead < base {
+		c.NodeLookahead = base
 	}
 }
 
@@ -268,6 +290,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl.SetNodeUplinkLatency(cfg.NodeLookahead)
 
 	// Assign residents: app → its placement nodes, rate split evenly.
 	nodeServiceRate := cfg.NodeBandwidth / cfg.MeanRequestBytes
@@ -483,6 +506,8 @@ func Run(cfg Config) (*Report, error) {
 		st.BaselineBytes = cl.CentralizedBaselineBytes()
 	}
 	st.Events = cl.Fabric().Fired()
+	ev, busy := cl.Fabric().Occupancy()
+	st.ShardLoad = metrics.ShardStats{Events: ev, Busy: busy}
 	st.WallSeconds = wall
 	if wall > 0 {
 		st.EventsPerSec = float64(st.Events) / wall

@@ -22,7 +22,9 @@ type event struct {
 	fn     func()
 	seq    uint64
 	gen    uint64
-	index  int32 // position in Engine.queue, -1 when not queued
+	next   *event // intrusive links while resident in a timing-wheel slot
+	prev   *event
+	index  int32  // position in Engine.queue when >= 0; see wheel.go markers
 	daemon bool
 }
 
@@ -55,7 +57,7 @@ func (h Event) Canceled() bool { return h.ev == nil || h.ev.gen != h.gen }
 type Engine struct {
 	now    float64
 	seq    uint64
-	queue  []*event // min-heap ordered by (time, seq)
+	queue  []*event // min-heap ordered by (time, seq); near-term events
 	free   []*event // recycled records; see event doc
 	fired  uint64
 	halted bool
@@ -64,12 +66,26 @@ type Engine struct {
 	// (schedule, cancel). The sharded fabric installs an ownership
 	// check here in debug mode; nil costs one branch.
 	guard func()
+	// w holds far-future events O(1) until the clock needs them; see
+	// wheel.go. noWheel forces every event through the heap — the
+	// pure-heap reference the differential fuzzer compares against.
+	w            wheel
+	noWheel      bool
+	batch        []*event // reusable same-instant dispatch buffer (RunBefore)
+	batchPending int      // drained-but-unfired batch events
 }
 
 // NewEngine returns an engine with virtual time 0.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	e.w.low = math.Inf(1)
+	return e
 }
+
+// disableWheel routes every schedule through the inline min-heap,
+// turning the engine into the pure-heap reference implementation the
+// differential fuzzer checks the hybrid against.
+func (e *Engine) disableWheel() { e.noWheel = true }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -80,7 +96,7 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of scheduled-but-unfired events. Cancelled
 // events are removed from the queue immediately, so they never count.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.queue) + e.w.count + e.batchPending }
 
 // Schedule runs fn after delay seconds of virtual time. A negative delay
 // is treated as zero. It returns a cancellable handle.
@@ -136,7 +152,7 @@ func (e *Engine) schedule(t float64, fn func(), daemon bool) Event {
 	if !daemon {
 		e.live++
 	}
-	e.heapPush(ev)
+	e.wheelInsert(ev)
 	return Event{ev: ev, gen: ev.gen, time: t}
 }
 
@@ -145,16 +161,20 @@ func (e *Engine) schedule(t float64, fn func(), daemon bool) Event {
 func (e *Engine) recycle(ev *event) {
 	ev.gen++
 	ev.fn = nil
+	ev.next = nil
 	e.free = append(e.free, ev)
 }
 
 // Cancel prevents a scheduled event from firing, removing it from the
-// queue immediately (no tombstones). Cancelling an event that already
-// fired or was already cancelled is a no-op, as is cancelling the zero
-// handle, so callers can cancel optional timers unconditionally.
+// queue or its wheel slot immediately (no tombstones). Cancelling an
+// event that already fired or was already cancelled is a no-op, as is
+// cancelling the zero handle, so callers can cancel optional timers
+// unconditionally. An event drained into the current RunBefore batch
+// but not yet fired is still cancellable: its record is skipped when
+// the batch reaches it.
 func (e *Engine) Cancel(h Event) {
 	ev := h.ev
-	if ev == nil || ev.gen != h.gen || ev.index < 0 {
+	if ev == nil || ev.gen != h.gen || ev.index == idxFired {
 		return
 	}
 	if e.guard != nil {
@@ -163,8 +183,19 @@ func (e *Engine) Cancel(h Event) {
 	if !ev.daemon {
 		e.live--
 	}
-	e.heapRemove(int(ev.index))
-	e.recycle(ev)
+	switch {
+	case ev.index >= 0:
+		e.heapRemove(int(ev.index))
+		e.recycle(ev)
+	case ev.index == idxBatch:
+		// Mid-batch: the record sits in the dispatch buffer. Invalidate
+		// the handle now; the batch loop recycles the record in place.
+		ev.gen++
+		ev.fn = nil
+		e.batchPending--
+	default:
+		e.wheelRemove(ev)
+	}
 }
 
 // Halt stops the currently executing Run/RunUntil after the current event
@@ -188,7 +219,7 @@ func (e *Engine) Run() float64 {
 // event.
 func (e *Engine) RunUntil(limit float64) float64 {
 	e.halted = false
-	for len(e.queue) > 0 && e.live > 0 {
+	for e.live > 0 && e.settleHead() {
 		next := e.queue[0]
 		if next.time > limit {
 			break
@@ -226,9 +257,11 @@ func (e *Engine) Live() int { return e.live }
 func (e *Engine) SetGuard(fn func()) { e.guard = fn }
 
 // PeekTime returns the time of the earliest pending event, or false if
-// the queue is empty.
+// none is pending. It may flush timing-wheel slots into the heap to
+// resolve the head exactly; the flush is order-neutral, so nothing is
+// observable beyond this call's cost.
 func (e *Engine) PeekTime() (float64, bool) {
-	if len(e.queue) == 0 {
+	if !e.settleHead() {
 		return 0, false
 	}
 	return e.queue[0].time, true
@@ -241,23 +274,52 @@ func (e *Engine) PeekTime() (float64, bool) {
 // deliver work anywhere in [Now, limit). This is the intra-window
 // executor of the sharded conservative-sync fabric; ordinary callers
 // want Run or RunUntil.
+//
+// Dispatch is batched: the whole same-instant run at the head is
+// drained from the heap in one pass and fired in sequence order, so a
+// window's worth of simultaneous completions costs one heap drain
+// instead of interleaved pop/sift cycles. Events a callback schedules
+// for the current instant carry higher sequence numbers and fire after
+// the drained batch, exactly as they would under one-at-a-time popping;
+// events it cancels mid-batch are skipped.
 func (e *Engine) RunBefore(limit float64) int {
+	if len(e.queue) == 0 && e.w.count == 0 {
+		return 0 // empty window: nothing pending at any horizon
+	}
 	n := 0
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.time >= limit {
+	for e.settleHead() {
+		t := e.queue[0].time
+		if t >= limit {
 			break
 		}
-		e.heapPopMin()
-		e.now = next.time
-		e.fired++
-		if !next.daemon {
-			e.live--
+		// Drain the full same-instant run. settleHead has flushed every
+		// wheel slot at or below t, so the heap holds the complete run.
+		batch := e.batch[:0]
+		for len(e.queue) > 0 && e.queue[0].time == t {
+			ev := e.heapPopMin()
+			ev.index = idxBatch
+			batch = append(batch, ev)
 		}
-		fn := next.fn
-		e.recycle(next)
-		fn()
-		n++
+		e.batch = batch
+		e.batchPending = len(batch)
+		e.now = t
+		for i, ev := range batch {
+			batch[i] = nil
+			if ev.fn == nil { // cancelled mid-batch
+				e.recycle(ev)
+				continue
+			}
+			e.batchPending--
+			e.fired++
+			if !ev.daemon {
+				e.live--
+			}
+			fn := ev.fn
+			e.recycle(ev)
+			fn()
+			n++
+		}
+		e.batch = batch[:0]
 	}
 	return n
 }
@@ -268,7 +330,7 @@ func (e *Engine) RunBefore(limit float64) int {
 // when no live work remains — it is a debugging aid, not a scheduling
 // primitive.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if !e.settleHead() {
 		return false
 	}
 	ev := e.heapPopMin()
@@ -285,7 +347,7 @@ func (e *Engine) Step() bool {
 
 // String implements fmt.Stringer for debugging.
 func (e *Engine) String() string {
-	return fmt.Sprintf("sim.Engine{now=%.3fs pending=%d fired=%d}", e.now, len(e.queue), e.fired)
+	return fmt.Sprintf("sim.Engine{now=%.3fs pending=%d fired=%d}", e.now, e.Pending(), e.fired)
 }
 
 // --- specialized event min-heap, ordered by (time, seq) ---

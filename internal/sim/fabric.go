@@ -34,6 +34,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // fabricMsg is one timestamped inter-shard message.
@@ -78,6 +79,19 @@ type Fabric struct {
 	lookahead float64
 	workers   int
 	debug     bool
+
+	// Per-edge latency bounds. outLat[s] is the minimum virtual latency
+	// of any message LEAVING shard s (≥ lookahead; Post clamps to it),
+	// and minOut the fabric-wide minimum. When any shard's bound exceeds
+	// the global lookahead (nonUniform), the window end is computed from
+	// the per-shard bounds — see RunUntil — instead of the single global
+	// clamp, widening windows around shards that only talk over slow
+	// edges. boundHeap mirrors nextHeap with entries keyed by
+	// next-event-time + outLat, sharing nextStamp invalidation.
+	outLat     []float64
+	minOut     float64
+	nonUniform bool
+	boundHeap  []nextEntry
 
 	pending  msgHeap // undelivered messages, min-heap on (deliver, src, seq)
 	liveMsgs int     // pending non-daemon messages
@@ -144,6 +158,10 @@ type Shard struct {
 	seq     uint64
 	active  bool // member of the window being built (dedup flag)
 	running atomic.Int32
+	// busy accumulates wall-clock nanoseconds spent executing this
+	// shard's windows. Written single-owner inside runWindow; the
+	// window open/close atomics order it for barrier-time readers.
+	busy int64
 }
 
 // NewFabric creates n shards, each with a fresh engine at time 0.
@@ -176,8 +194,40 @@ func NewFabric(n int, lookahead float64, opts FabricOptions) *Fabric {
 	}
 	f.nextStamp = make([]uint32, n)
 	f.prevLive = make([]int, n)
+	f.outLat = make([]float64, n)
+	for i := range f.outLat {
+		f.outLat[i] = lookahead
+	}
+	f.minOut = lookahead
 	return f
 }
+
+// SetShardOutLatency raises the minimum virtual latency of messages
+// leaving shard i to lat (≥ the fabric lookahead). Posts from i are
+// clamped up to it, and in exchange the conservative window bound
+// treats i as unable to affect any other shard sooner — windows widen
+// past the global lookahead whenever the shards due to run only talk
+// over slow edges. Call before Run, as part of wiring the model; the
+// bound is part of the model's timing, so it must not change mid-run.
+func (f *Fabric) SetShardOutLatency(i int, lat float64) {
+	if lat < f.lookahead || math.IsNaN(lat) {
+		panic("sim: shard out-latency below fabric lookahead")
+	}
+	f.outLat[i] = lat
+	f.nonUniform = false
+	f.minOut = f.outLat[0]
+	for _, l := range f.outLat {
+		if l != f.lookahead {
+			f.nonUniform = true
+		}
+		if l < f.minOut {
+			f.minOut = l
+		}
+	}
+}
+
+// OutLatency returns shard i's outgoing-edge latency bound.
+func (f *Fabric) OutLatency(i int) float64 { return f.outLat[i] }
 
 // Shards returns the shard count.
 func (f *Fabric) Shards() int { return len(f.shards) }
@@ -251,8 +301,8 @@ func (s *Shard) post(dst int, delay float64, fn func(), daemon bool) {
 	if s.f.debug && s.f.inWindow.Load() == 1 && s.running.Load() == 0 {
 		panic(fmt.Sprintf("sim: Post from shard %d outside its window", s.id))
 	}
-	if delay < s.f.lookahead || math.IsNaN(delay) {
-		delay = s.f.lookahead
+	if min := s.f.outLat[s.id]; delay < min || math.IsNaN(delay) {
+		delay = min
 	}
 	s.outbox = append(s.outbox, fabricMsg{
 		deliver: s.eng.now + delay,
@@ -298,7 +348,28 @@ func (f *Fabric) RunUntil(limit float64) float64 {
 		if !ok || start >= limit {
 			break
 		}
-		end := start + f.lookahead
+		// Conservative window end: the earliest instant anything running
+		// in this window could affect another shard. With uniform edge
+		// latencies that is exactly start + lookahead (the classic
+		// global clamp); with per-shard bounds it is the minimum over
+		// (a) each shard's next event plus its outgoing-edge bound and
+		// (b) the earliest in-flight message plus the fabric-wide
+		// minimum — any message delivered at d wakes computation no
+		// earlier than d, whose posts land at d + outLat(dst) or later.
+		var end float64
+		if !f.nonUniform {
+			end = start + f.lookahead
+		} else {
+			end = math.Inf(1)
+			if b, ok := f.peekBound(); ok {
+				end = b
+			}
+			if len(f.pending) > 0 {
+				if mb := f.pending[0].deliver + f.minOut; mb < end {
+					end = mb
+				}
+			}
+		}
 		if end > limit {
 			end = limit
 		}
@@ -399,12 +470,16 @@ func (f *Fabric) finishWindow() {
 func (f *Fabric) refreshAll() {
 	f.liveSum = 0
 	f.nextHeap = f.nextHeap[:0]
+	f.boundHeap = f.boundHeap[:0]
 	for _, s := range f.shards {
 		f.liveSum += s.eng.live
 		f.prevLive[s.id] = s.eng.live
 		f.nextStamp[s.id]++
 		if t, ok := s.eng.PeekTime(); ok {
 			f.pushNext(nextEntry{time: t, shard: s.id, stamp: f.nextStamp[s.id]})
+			if f.nonUniform {
+				f.pushBound(nextEntry{time: t + f.outLat[s.id], shard: s.id, stamp: f.nextStamp[s.id]})
+			}
 		}
 		for _, m := range s.outbox {
 			if !m.daemon {
@@ -426,6 +501,9 @@ func (f *Fabric) refreshNext(s *Shard) {
 	f.nextStamp[s.id]++
 	if t, ok := s.eng.PeekTime(); ok {
 		f.pushNext(nextEntry{time: t, shard: s.id, stamp: f.nextStamp[s.id]})
+		if f.nonUniform {
+			f.pushBound(nextEntry{time: t + f.outLat[s.id], shard: s.id, stamp: f.nextStamp[s.id]})
+		}
 	}
 }
 
@@ -450,6 +528,7 @@ func (f *Fabric) peekNext() (float64, bool) {
 // runs it per shard per window.
 func (s *Shard) runWindow(end float64) {
 	s.running.Store(1)
+	t0 := time.Now()
 	for i := range s.inbox {
 		m := &s.inbox[i]
 		s.eng.schedule(m.deliver, m.fn, m.daemon)
@@ -457,7 +536,22 @@ func (s *Shard) runWindow(end float64) {
 	}
 	s.inbox = s.inbox[:0]
 	s.eng.RunBefore(end)
+	s.busy += int64(time.Since(t0))
 	s.running.Store(0)
+}
+
+// Occupancy reports per-shard execution load: events fired (a
+// deterministic function of the model) and wall-clock seconds spent
+// executing windows (host-dependent — the measured, not estimated,
+// serial fraction). Call at a barrier or after Run.
+func (f *Fabric) Occupancy() (events []uint64, busy []float64) {
+	events = make([]uint64, len(f.shards))
+	busy = make([]float64, len(f.shards))
+	for i, s := range f.shards {
+		events[i] = s.eng.fired
+		busy[i] = float64(s.busy) / 1e9
+	}
+	return events, busy
 }
 
 // runClaims executes shards off the active set until none remain.
@@ -600,6 +694,58 @@ func (f *Fabric) popPending() fabricMsg {
 	}
 	f.pending = h
 	return m
+}
+
+// peekBound returns the smallest valid per-shard affect bound
+// (next-event time + outgoing-edge latency), discarding stale entries.
+func (f *Fabric) peekBound() (float64, bool) {
+	for len(f.boundHeap) > 0 && f.boundHeap[0].stamp != f.nextStamp[f.boundHeap[0].shard] {
+		f.popBound()
+	}
+	if len(f.boundHeap) == 0 {
+		return 0, false
+	}
+	return f.boundHeap[0].time, true
+}
+
+func (f *Fabric) pushBound(e nextEntry) {
+	h := append(f.boundHeap, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !nextAfter(h[p], h[i]) {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	f.boundHeap = h
+}
+
+func (f *Fabric) popBound() nextEntry {
+	h := f.boundHeap
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && nextAfter(h[min], h[l]) {
+			min = l
+		}
+		if r < n && nextAfter(h[min], h[r]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	f.boundHeap = h
+	return e
 }
 
 // nextAfter orders next-event cache entries by (time, shard); the

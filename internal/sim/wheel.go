@@ -1,0 +1,268 @@
+package sim
+
+// Hierarchical timing wheel fronting the event min-heap.
+//
+// The heap alone makes every schedule and fire O(log n) in the total
+// number of pending events — including far-future timers (fault
+// schedules, coordination timeouts, job arrivals) that churn through
+// every sift even though they will not fire for a long time. The wheel
+// takes those out of the heap's way: an event further out than a
+// couple of slots is filed O(1) under a slot keyed by its coarse tick,
+// and only moves into the heap ("flushes") when the clock needs it.
+//
+// Order is preserved exactly. The wheel never fires anything itself;
+// flushing pushes a slot's events into the heap, where the (time, seq)
+// comparison re-establishes the precise total order the pure heap
+// would have produced. The hybrid is therefore observationally
+// identical to the inline min-heap — FuzzEngineOrder pins this.
+//
+// Geometry. wheelLevels levels of wheelSize slots each; level l slots
+// are (wheelTick << wheelBits*l) seconds wide. With 3 levels of 256
+// slots at a 1/64 s base tick the wheel spans ~2^24 ticks ≈ 3 virtual
+// days; events beyond that (and events with absurd or non-finite
+// times) simply stay in the heap, as they always did.
+//
+// Invariants:
+//   - cursor is a tick no resident event precedes: slots below it are
+//     flushed or empty. It advances only inside flushes, in tick order.
+//   - at every level, an occupied slot holds events of a single slot
+//     tick in [cursor>>sh, cursor>>sh + wheelSize) — inserts pick the
+//     lowest level where that window covers the event.
+//   - low is a conservative lower bound (in seconds) on the earliest
+//     resident event; +Inf when the wheel is empty. Pop paths flush
+//     while low is at or below the heap head, so the head they observe
+//     is the true minimum.
+//
+// Cancellation unlinks eagerly (the slot is recoverable from the
+// event's index encoding), so the wheel holds no tombstones and
+// Pending stays exact.
+
+import (
+	"math"
+	"math/bits"
+)
+
+const (
+	wheelBits   = 8
+	wheelSize   = 1 << wheelBits // slots per level
+	wheelWords  = wheelSize / 64
+	wheelLevels = 3
+
+	// wheelTick is the level-0 slot width in virtual seconds. 1/64 s
+	// keeps tick<->time conversion exact for dyadic times and puts the
+	// simulator's near-term completion traffic (a few ms to a few tens
+	// of ms) straight into the heap via the near check below.
+	wheelTick    = 1.0 / 64
+	wheelInvTick = 64.0
+
+	// wheelNearSlots: events within this many slots of the cursor go
+	// straight to the heap — they would flush almost immediately, so
+	// filing them would only add constant overhead to the hot path.
+	wheelNearSlots = 2
+
+	// wheelMaxTime guards the float->tick conversion; times at or
+	// beyond it (including +Inf and NaN-clamped values) stay heap-side.
+	wheelMaxTime = float64(int64(1) << 40)
+)
+
+// event.index markers for records not resident in the heap.
+const (
+	idxFired     = -1 // popped (about to fire) or recycled
+	idxBatch     = -3 // drained into the RunBefore same-instant batch
+	idxWheelBase = -4 // wheel-resident; see wheelIdx
+)
+
+// wheelIdx encodes a wheel position into the event's index field so
+// Cancel can find the slot without a search across levels.
+func wheelIdx(level, slot int) int32 {
+	return int32(idxWheelBase - (level<<wheelBits | slot))
+}
+
+// wheel is the engine-embedded timer wheel state.
+type wheel struct {
+	cursor int64   // first tick the wheel may still hold
+	count  int     // resident events across all levels
+	low    float64 // lower bound on the earliest resident time; +Inf when empty
+	bitmap [wheelLevels][wheelWords]uint64
+	slot   [wheelLevels][wheelSize]*event
+}
+
+// wheelInsert files ev under its slot, or pushes it on the heap when it
+// is too near (a flush would be immediate), too far (beyond the top
+// level's span), or the wheel is disabled.
+func (e *Engine) wheelInsert(ev *event) {
+	t := ev.time
+	if e.noWheel || !(t < wheelMaxTime) {
+		e.heapPush(ev)
+		return
+	}
+	tick := int64(t * wheelInvTick)
+	c := e.w.cursor
+	if tick-c < wheelNearSlots {
+		e.heapPush(ev)
+		return
+	}
+	for l := 0; l < wheelLevels; l++ {
+		sh := uint(wheelBits * l)
+		if (tick>>sh)-(c>>sh) < wheelSize {
+			s := int((tick >> sh) & (wheelSize - 1))
+			head := e.w.slot[l][s]
+			ev.next = head
+			ev.prev = nil
+			if head != nil {
+				head.prev = ev
+			}
+			e.w.slot[l][s] = ev
+			e.w.bitmap[l][s>>6] |= 1 << uint(s&63)
+			ev.index = wheelIdx(l, s)
+			e.w.count++
+			if lt := float64(tick) * wheelTick; lt < e.w.low {
+				e.w.low = lt
+			}
+			return
+		}
+	}
+	e.heapPush(ev)
+}
+
+// wheelRemove unlinks a cancelled event from its slot (O(1) via the
+// doubly-linked intrusive list) and recycles it.
+func (e *Engine) wheelRemove(ev *event) {
+	k := idxWheelBase - int(ev.index)
+	l, s := k>>wheelBits, k&(wheelSize-1)
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		e.w.slot[l][s] = ev.next
+	}
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	}
+	if e.w.slot[l][s] == nil {
+		e.w.bitmap[l][s>>6] &^= 1 << uint(s&63)
+	}
+	e.w.count--
+	if e.w.count == 0 {
+		e.w.low = math.Inf(1)
+	}
+	ev.prev = nil
+	ev.next = nil
+	e.recycle(ev)
+}
+
+// wheelScan returns the tick lower bound and slot of level l's earliest
+// occupied slot, or ok=false when the level is empty. For level 0 the
+// bound is the slot's exact tick.
+func (e *Engine) wheelScan(l int) (lb int64, slot int, ok bool) {
+	sh := uint(wheelBits * l)
+	cl := e.w.cursor >> sh
+	from := int(cl & (wheelSize - 1))
+	slot, ok = nextSlot(&e.w.bitmap[l], from)
+	if !ok {
+		return 0, 0, false
+	}
+	u := cl + int64((slot-from)&(wheelSize-1))
+	lb = u << sh
+	if lb < e.w.cursor {
+		lb = e.w.cursor
+	}
+	return lb, slot, true
+}
+
+// nextSlot finds the first occupied slot at or after from, scanning
+// circularly, and reports whether any slot is occupied.
+func nextSlot(bm *[wheelWords]uint64, from int) (int, bool) {
+	w := from >> 6
+	if word := bm[w] >> uint(from&63); word != 0 {
+		return from + bits.TrailingZeros64(word), true
+	}
+	for i := 1; i <= wheelWords; i++ {
+		idx := (w + i) & (wheelWords - 1)
+		if bm[idx] != 0 {
+			return idx<<6 + bits.TrailingZeros64(bm[idx]), true
+		}
+	}
+	return 0, false
+}
+
+// wheelFlush drains the given slot toward the heap: a level-0 slot
+// flushes directly (the heap re-establishes (time, seq) order), a
+// higher-level slot cascades one level down. lb is the slot's tick
+// bound, already known to be the minimum across levels, so advancing
+// the cursor to it is safe: no resident event precedes it.
+func (e *Engine) wheelFlush(l, slot int, lb int64) {
+	e.w.cursor = lb
+	head := e.w.slot[l][slot]
+	e.w.slot[l][slot] = nil
+	e.w.bitmap[l][slot>>6] &^= 1 << uint(slot&63)
+	if l == 0 {
+		// The slot holds exactly one tick; it is now fully drained.
+		e.w.cursor = lb + 1
+		for head != nil {
+			nxt := head.next
+			head.next = nil
+			head.prev = nil
+			e.w.count--
+			e.heapPush(head)
+			head = nxt
+		}
+	} else {
+		// Cascade: with the cursor advanced, each event re-files at a
+		// strictly lower level (or the heap, when near).
+		for head != nil {
+			nxt := head.next
+			head.next = nil
+			head.prev = nil
+			e.w.count--
+			e.wheelInsert(head)
+			head = nxt
+		}
+	}
+}
+
+// settleHead flushes the wheel until the heap head is the true earliest
+// pending event, and reports whether any event is pending. Every pop
+// path goes through it; flushing is order-neutral, so the mutation is
+// not observable through the engine's public surface.
+//
+// The fast path is one float compare: e.w.low is a conservative lower
+// bound, so a heap head strictly below it is already exact. Otherwise
+// each iteration scans the levels once, refreshing the bound and
+// flushing the earliest slot only while the bound still ties or beats
+// the head.
+func (e *Engine) settleHead() bool {
+	for e.w.count > 0 {
+		if len(e.queue) > 0 && e.w.low > e.queue[0].time {
+			break
+		}
+		// Tie-break toward the highest level: a level-0 flush advances
+		// the cursor past its tick, so a higher-level slot sharing the
+		// bound must cascade first or its residents at that exact tick
+		// would be stranded behind the cursor and fire late.
+		bestL, bestSlot := -1, 0
+		var bestLB int64
+		for l := 0; l < wheelLevels; l++ {
+			lb, slot, ok := e.wheelScan(l)
+			if ok && (bestL < 0 || lb <= bestLB) {
+				bestL, bestLB, bestSlot = l, lb, slot
+			}
+		}
+		if bestL < 0 {
+			// count > 0 with every slot empty is an invariant breach.
+			panic("sim: timing wheel count out of sync with slots")
+		}
+		// The scan refreshed the bound exactly; it may now clear a head
+		// the stale bound appeared to tie.
+		e.w.low = float64(bestLB) * wheelTick
+		if len(e.queue) > 0 && e.w.low > e.queue[0].time {
+			break
+		}
+		e.wheelFlush(bestL, bestSlot, bestLB)
+		if e.w.count == 0 {
+			e.w.low = math.Inf(1)
+		}
+		// After a flush the cached bound is stale-low (the flushed
+		// slot's tick); the next iteration's scan refreshes it.
+	}
+	return len(e.queue) > 0
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+)
+
+// FuzzEngineOrder differentially fuzzes the hybrid wheel+heap engine
+// against the pure min-heap reference (disableWheel): an identical
+// randomized schedule/cancel/reschedule/advance script must fire the
+// exact same events at the exact same (time, seq) order on both.
+//
+// The script decoder deliberately spreads delays across the wheel's
+// regimes — same-instant runs (batch dispatch), sub-tick nears (heap
+// direct), mid horizons (level 0/1 slots), and far horizons (level 2
+// and overflow) — and advances through all three executors (RunBefore
+// windows, RunUntil, Step) so cascades, flushes and batch drains all
+// interleave with mutation.
+func FuzzEngineOrder(f *testing.F) {
+	f.Add([]byte{0x00, 0x10, 0x01, 0x52, 0x02, 0xa4, 0x2d, 0x40, 0x03, 0x01, 0x2f, 0x80})
+	f.Add([]byte{0x08, 0xff, 0x09, 0xfe, 0x0a, 0xfd, 0x2d, 0xff, 0x2e, 0x2f, 0xff})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x2d, 0x01, 0x03, 0x00, 0x03, 0x01})
+	f.Add([]byte{0x10, 0xc3, 0x11, 0xc4, 0x04, 0x00, 0x91, 0x2d, 0xf0, 0x2e, 0x2e, 0x2e})
+	// Found by fuzzing: a same-tick cross-level tie (one event filed
+	// far, one filed near the same instant) that the settleHead
+	// tie-break must cascade in the right order. See
+	// TestWheelSameTickCrossLevelTie for the distilled case.
+	f.Add([]byte("000000000000&0000000070000000000&000000071z00000000&00\xee700000000000711000700000000&0000000000000000700000"))
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 2048 {
+			ops = ops[:2048]
+		}
+		type fire struct {
+			id int
+			t  float64
+		}
+		run := func(pureHeap bool) []fire {
+			e := NewEngine()
+			if pureHeap {
+				e.disableWheel()
+			}
+			var log []fire
+			var handles []Event
+			id := 0
+			var schedule func(delay float64, daemon bool)
+			schedule = func(delay float64, daemon bool) {
+				myID := id
+				id++
+				fn := func() {
+					log = append(log, fire{myID, e.Now()})
+					// Every third event schedules a child, so mutation
+					// also happens from inside callbacks (including
+					// mid-batch during RunBefore drains).
+					if myID%3 == 0 {
+						schedule(float64(myID%7)*0.37, false)
+					}
+				}
+				if daemon {
+					handles = append(handles, e.ScheduleDaemon(delay, fn))
+				} else {
+					handles = append(handles, e.Schedule(delay, fn))
+				}
+			}
+			decodeDelay := func(d byte) float64 {
+				switch d % 4 {
+				case 0:
+					return 0 // same instant: exercises batch runs
+				case 1:
+					return float64(d>>2) * 1e-3 // near: sub-tick, heap direct
+				case 2:
+					return float64(d>>2) * 1.9 // mid: wheel levels 0-1
+				default:
+					return 800 + float64(d>>2)*41.7 // far: level 2 / overflow
+				}
+			}
+			i := 0
+			next := func() byte {
+				if i >= len(ops) {
+					return 0
+				}
+				b := ops[i]
+				i++
+				return b
+			}
+			for i < len(ops) {
+				b := next()
+				switch b % 8 {
+				case 0, 1, 2:
+					schedule(decodeDelay(next()), false)
+				case 3:
+					schedule(decodeDelay(next()), true)
+				case 4: // cancel a (possibly stale) handle
+					if len(handles) > 0 {
+						e.Cancel(handles[int(next())%len(handles)])
+					}
+				case 5: // reschedule: cancel + fresh schedule
+					if len(handles) > 0 {
+						e.Cancel(handles[int(next())%len(handles)])
+					}
+					schedule(decodeDelay(next()), false)
+				case 6: // one conservative-sync window
+					e.RunBefore(e.Now() + float64(next())*0.11)
+				case 7:
+					if next()%2 == 0 {
+						e.Step()
+					} else {
+						e.RunUntil(e.Now() + float64(next())*2.3)
+					}
+				}
+			}
+			// Drain everything left, far timers included.
+			e.RunBefore(1e12)
+			return log
+		}
+		hybrid := run(false)
+		reference := run(true)
+		if len(hybrid) != len(reference) {
+			t.Fatalf("hybrid fired %d events, pure heap fired %d", len(hybrid), len(reference))
+		}
+		for k := range hybrid {
+			if hybrid[k] != reference[k] {
+				t.Fatalf("fire %d diverged: hybrid (id=%d t=%v) vs pure heap (id=%d t=%v)",
+					k, hybrid[k].id, hybrid[k].t, reference[k].id, reference[k].t)
+			}
+		}
+	})
+}
